@@ -1,0 +1,29 @@
+"""Benchmark harness configuration.
+
+Each ``test_bench_*`` module regenerates one experiment of DESIGN.md
+section 5: it runs the experiment (timing it via pytest-benchmark),
+prints the exact table recorded in EXPERIMENTS.md, and asserts that the
+paper's claim *shape* holds.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+
+def run_experiment(benchmark, runner, **kwargs):
+    """Benchmark one experiment runner and return its result.
+
+    The experiment is executed once per benchmark round (the work is a
+    whole-cluster simulation; wall-clock per run is the quantity of
+    interest, not micro-op latency).
+    """
+    result = benchmark.pedantic(lambda: runner(**kwargs), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    benchmark.extra_info.update(
+        {"experiment": result.experiment_id, "claim_holds": result.claim_holds}
+    )
+    return result

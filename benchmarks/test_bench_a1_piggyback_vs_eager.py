@@ -1,0 +1,49 @@
+"""Ablation A1: piggybacked checkpoint control information (the paper's
+design) vs eager dedicated messages.
+
+Quantifies the design decision behind the "no extra messages" claim: with
+eager shipping, every dummy entry and every CkpSet announcement costs a
+message; with piggybacking they ride coherence traffic for free (at the
+price of delayed GC on quiet channels -- see test_checkpoint_protocol).
+"""
+
+from repro.analysis.report import Table
+from repro.experiments.base import run_workload
+from repro.workloads import SyntheticWorkload
+
+
+def _run(gc_transport, dummy_transport):
+    workload = SyntheticWorkload(rounds=18, locality=0.5)
+    system, result = run_workload(
+        workload, interval=25.0,
+        gc_transport=gc_transport, dummy_transport=dummy_transport,
+    )
+    assert result.completed and workload.verify(result).ok
+    return result
+
+
+def test_bench_a1_piggyback_vs_eager(benchmark):
+    def experiment():
+        return {
+            "piggyback": _run("piggyback", "piggyback"),
+            "eager": _run("eager", "eager"),
+        }
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    table = Table(
+        "A1: piggyback vs eager transport of checkpoint control info",
+        ["transport", "total msgs", "checkpoint msgs", "coherence msgs",
+         "piggyback bytes", "checkpoint bytes on wire"],
+    )
+    for name, result in results.items():
+        net = result.net
+        table.add_row(name, net["total_messages"], net["checkpoint_messages"],
+                      net["coherence_messages"], net["piggyback_bytes"],
+                      net["checkpoint_bytes"])
+    print()
+    print(table.render())
+
+    pig, eager = results["piggyback"], results["eager"]
+    assert pig.net["checkpoint_messages"] == 0
+    assert eager.net["checkpoint_messages"] > 0
+    assert eager.net["total_messages"] > pig.net["total_messages"]

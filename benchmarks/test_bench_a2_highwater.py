@@ -1,0 +1,51 @@
+"""Ablation A2: checkpoint triggers -- periodic vs log high-water mark vs
+hybrid (section 4.2 names both inputs to the decision)."""
+
+from repro.analysis.report import Table
+from repro.experiments.base import run_workload
+from repro.workloads import SyntheticWorkload
+
+
+def _run(interval, highwater):
+    workload = SyntheticWorkload(rounds=30, objects=6, object_size=256)
+    system, result = run_workload(workload, interval=interval,
+                                  highwater=highwater)
+    assert result.completed and workload.verify(result).ok
+    peak_log = max(
+        p.checkpoint_protocol.log.size_bytes()
+        for p in system.processes.values()
+    )
+    return result, peak_log
+
+
+def test_bench_a2_highwater(benchmark):
+    configs = {
+        "periodic 30": (30.0, None),
+        "highwater 6KB": (None, 6 * 1024),
+        "hybrid 60 + 6KB": (60.0, 6 * 1024),
+        "periodic 200 (lazy)": (200.0, None),
+    }
+
+    def experiment():
+        return {name: _run(*args) for name, args in configs.items()}
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    table = Table(
+        "A2: checkpoint trigger policies",
+        ["policy", "checkpoints", "checkpoint bytes", "end log bytes (max)",
+         "stable writes"],
+    )
+    for name, (result, peak) in results.items():
+        table.add_row(name, result.metrics.total_checkpoints,
+                      result.metrics.total_checkpoint_bytes, peak,
+                      result.stable_writes)
+    print()
+    print(table.render())
+
+    lazy = results["periodic 200 (lazy)"][0]
+    eager = results["periodic 30"][0]
+    highwater = results["highwater 6KB"][0]
+    # Trade-off shape: more frequent checkpoints, more stable traffic.
+    assert eager.metrics.total_checkpoints > lazy.metrics.total_checkpoints
+    # The high-water policy checkpoints at all only under log pressure.
+    assert highwater.metrics.total_checkpoints >= 4  # initial ones at least

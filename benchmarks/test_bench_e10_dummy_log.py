@@ -1,0 +1,10 @@
+"""E10: dummy log entries make local acquires recoverable; their cost
+scales with the local re-acquire rate and rides existing messages."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import run_dummy_log
+
+
+def test_bench_e10_dummy_log(benchmark):
+    result = run_experiment(benchmark, run_dummy_log, quick=True)
+    assert result.claim_holds

@@ -1,0 +1,10 @@
+"""E11 (extension): failure-free cost and recovery vs cluster size."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments.scalability import run_scalability
+
+
+def test_bench_e11_scalability(benchmark):
+    result = run_experiment(benchmark, run_scalability, quick=True)
+    assert result.claim_holds
+    assert result.findings["checkpoint_msgs_always_zero"]

@@ -1,0 +1,12 @@
+"""E12: survivors not contending for reconstructed objects keep full speed
+through a recovery; nobody rolls back (section 4.3.2)."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments.interference import run_interference
+
+
+def test_bench_e12_interference(benchmark):
+    result = run_experiment(benchmark, run_interference, quick=True)
+    assert result.claim_holds
+    assert (result.findings["bystander_rate_during"]
+            >= 0.6 * result.findings["bystander_rate_before"])

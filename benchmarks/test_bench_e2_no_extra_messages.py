@@ -1,0 +1,10 @@
+"""E2: zero extra checkpoint-layer messages in the failure-free period."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import run_no_extra_messages
+
+
+def test_bench_e2_no_extra_messages(benchmark):
+    result = run_experiment(benchmark, run_no_extra_messages, quick=True)
+    assert result.claim_holds
+    assert result.findings["checkpoint_messages_always_zero"]

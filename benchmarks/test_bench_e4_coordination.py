@@ -1,0 +1,12 @@
+"""E4: coordination overhead of coordinated checkpointing vs DiSOM's
+uncoordinated scheme (messages per wave grow with cluster size; DiSOM
+stays at zero)."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import run_coordination_overhead
+
+
+def test_bench_e4_coordination(benchmark):
+    result = run_experiment(benchmark, run_coordination_overhead, quick=True)
+    assert result.claim_holds
+    assert result.findings["coordinated_cost_grows_with_procs"]

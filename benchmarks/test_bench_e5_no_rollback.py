@@ -1,0 +1,10 @@
+"""E5: the protocol is pessimistic -- surviving processes never roll back
+(contrast: coordinated checkpointing rolls back every survivor)."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import run_no_rollback
+
+
+def test_bench_e5_no_rollback(benchmark):
+    result = run_experiment(benchmark, run_no_rollback, quick=True)
+    assert result.claim_holds

@@ -1,0 +1,14 @@
+"""E8: recovery duration grows with the time since the last checkpoint
+(section 4.3.2), so checkpoint frequency can be chosen purely from
+recovery-time constraints (section 2)."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import run_recovery_time
+
+
+def test_bench_e8_recovery_time(benchmark):
+    result = run_experiment(benchmark, run_recovery_time, quick=True)
+    assert result.claim_holds
+    replays = result.findings["replays"]
+    # More work since the checkpoint => more replayed acquires.
+    assert replays[-1] > replays[0]

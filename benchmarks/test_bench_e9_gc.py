@@ -1,0 +1,11 @@
+"""E9: garbage collection (section 4.4) keeps the distributed logs
+bounded; the high-water-mark trigger (section 4.2) bounds them by size."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import run_gc
+
+
+def test_bench_e9_gc(benchmark):
+    result = run_experiment(benchmark, run_gc, quick=True)
+    assert result.claim_holds
+    assert result.findings["live_with_gc"] <= result.findings["live_without_gc"]

@@ -1,0 +1,12 @@
+"""E1: regenerate Figure 1 (consistency classification of S1/S2/S3)."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import run_figure1
+
+
+def test_bench_figure1(benchmark):
+    result = run_experiment(benchmark, run_figure1)
+    assert result.claim_holds
+    assert result.findings["all_named_states_match_paper"]
+    # All 12 cuts classified; figure 1's three named states among them.
+    assert result.findings["total_cuts"] == 12

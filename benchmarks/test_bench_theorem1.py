@@ -1,0 +1,10 @@
+"""E6 / Theorem 1: consistent recovery after any single process failure,
+across workloads and crash times."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import run_theorem1
+
+
+def test_bench_theorem1(benchmark):
+    result = run_experiment(benchmark, run_theorem1, quick=True)
+    assert result.claim_holds

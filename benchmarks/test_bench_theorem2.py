@@ -1,0 +1,13 @@
+"""E7 / Theorem 2: after multiple failures the system is either brought to
+a consistent state or the application is aborted -- never silently
+inconsistent.  Also reports the conservative-abort rate."""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import run_theorem2
+
+
+def test_bench_theorem2(benchmark):
+    result = run_experiment(benchmark, run_theorem2, quick=True)
+    assert result.claim_holds
+    assert result.findings["inconsistent"] == 0
+    assert result.findings["recovered"] + result.findings["aborted"] > 0

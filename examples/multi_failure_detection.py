@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Theorem 2 in action: multiple failures -> recover or abort, never lie.
+
+The protocol guarantees recovery only from single failures; for multiple
+(near-)simultaneous crashes it runs a conservative detection pass over the
+per-thread LogLists (maximum contiguous prefix + DependList check) and
+aborts the application whenever a surviving thread might depend on a
+version that cannot be re-produced.  This example sweeps crash spacings
+and reports each outcome -- the invariant being that a run is either
+recovered *and verified* or aborted, never silently inconsistent.
+
+Run:  python examples/multi_failure_detection.py
+"""
+
+from repro import CheckpointPolicy, ClusterConfig, DisomSystem
+from repro.analysis.report import Table
+from repro.workloads import SyntheticWorkload
+
+
+def run(seed, crashes):
+    workload = SyntheticWorkload(rounds=12, objects=5)
+    system = DisomSystem(
+        ClusterConfig(processes=4, seed=seed, spare_nodes=4),
+        CheckpointPolicy(interval=30.0),
+    )
+    workload.setup(system)
+    for pid, when in crashes:
+        system.inject_crash(pid, at_time=when)
+    return workload, system.run()
+
+
+def counts(result):
+    return {k: v["count"] for k, v in result.final_objects.items()}
+
+
+def main() -> None:
+    table = Table(
+        "multiple-failure outcomes (Theorem 2)",
+        ["seed", "crashes", "outcome", "consistent", "abort reason"],
+    )
+    recovered = aborted = 0
+    for seed in range(5):
+        _, base = run(seed, [])
+        for spacing in (0.0, 5.0, 40.0):
+            crashes = [(0, 25.0), (2, 25.0 + spacing)]
+            workload, result = run(seed, crashes)
+            if result.aborted:
+                aborted += 1
+                table.add_row(seed, f"P0@25,P2@{25 + spacing:.0f}", "aborted",
+                              "-", (result.abort_reason or "")[:60])
+            else:
+                recovered += 1
+                consistent = (counts(result) == counts(base)
+                              and workload.verify(result).ok
+                              and not result.invariant_violations)
+                table.add_row(seed, f"P0@25,P2@{25 + spacing:.0f}",
+                              "recovered", consistent, "-")
+                assert consistent, "Theorem 2 violated!"
+    print(table.render())
+    print(f"\n{recovered} recovered, {aborted} conservatively aborted, "
+          f"0 inconsistent -- Theorem 2 holds.")
+    print("Note: widely spaced failures behave like two single failures "
+          "and recover; dense ones may hit the conservative abort.")
+
+
+if __name__ == "__main__":
+    main()

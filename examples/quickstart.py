@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: a fault-tolerant shared counter on a simulated cluster.
+
+Four DiSOM processes increment one entry-consistency shared object; the
+checkpoint protocol runs underneath (volatile distributed log, periodic
+uncoordinated checkpoints, piggybacked control information).  Midway
+through, one workstation fail-stops; the system detects the failure,
+reloads the process's checkpoint on a spare node, replays its logged
+acquires, and the application finishes with the exact same answer as a
+failure-free run.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AcquireWrite,
+    CheckpointPolicy,
+    ClusterConfig,
+    Compute,
+    DisomSystem,
+    Program,
+    Release,
+)
+
+PROCESSES = 4
+ROUNDS = 10
+
+
+def incrementer_body(ctx):
+    """Each thread adds its contribution, one critical section at a time."""
+    for i in range(ctx.param("rounds")):
+        value = yield AcquireWrite("counter")      # exclusive acquire
+        yield Compute(ctx.rng.uniform(0.5, 2.0))   # work inside the CS
+        yield Release.of("counter", value + 1)     # publish a new version
+        yield Compute(ctx.rng.uniform(0.5, 2.0))   # local work
+    return "done"
+
+
+def build_system(crash: bool) -> DisomSystem:
+    system = DisomSystem(
+        ClusterConfig(processes=PROCESSES, seed=42),
+        CheckpointPolicy(interval=30.0),           # checkpoint every 30 units
+    )
+    system.add_object("counter", initial=0, home=0)
+    program = Program("incrementer", incrementer_body, {"rounds": ROUNDS})
+    for pid in range(PROCESSES):
+        system.spawn(pid, program)
+    if crash:
+        system.inject_crash(2, at_time=40.0)       # fail-stop P2 mid-run
+    return system
+
+
+def main() -> None:
+    print("== failure-free run ==")
+    baseline = build_system(crash=False).run()
+    print(f"counter = {baseline.final_objects['counter']} "
+          f"(expected {PROCESSES * ROUNDS})")
+    print(f"coherence messages: {baseline.net['coherence_messages']}, "
+          f"checkpoint-layer messages: {baseline.net['checkpoint_messages']} "
+          f"(piggybacked bytes: {baseline.net['piggyback_bytes']})")
+
+    print("\n== run with a crash of P2 at t=40 ==")
+    system = build_system(crash=True)
+    result = system.run()
+    record = result.recoveries[0]
+    print(f"counter = {result.final_objects['counter']} "
+          f"(same as failure-free: "
+          f"{result.final_objects == baseline.final_objects})")
+    print(f"crash detected at t={record.detected_at:.1f}, recovery took "
+          f"{record.duration:.1f} time units, replayed "
+          f"{record.replayed_acquires} logged acquires")
+    print(f"surviving processes rolled back: "
+          f"{result.metrics.total_survivor_rollbacks} (the protocol is "
+          f"pessimistic)")
+    assert result.final_objects == baseline.final_objects
+    assert not result.invariant_violations
+    print("\nOK: transparent recovery, identical result.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Successive over-relaxation surviving a workstation crash.
+
+The classic DSM kernel: a grid partitioned into per-process row blocks,
+double-buffered, with neighbour reads and a barrier each iteration.  The
+example runs it twice -- failure-free and with a mid-run crash -- and
+checks both against a sequential reference solution, demonstrating that
+recovery is transparent to a real iterative application (barriers, read
+sharing, version chains and all).
+
+Run:  python examples/sor_resilient.py
+"""
+
+from repro import CheckpointPolicy, ClusterConfig, DisomSystem
+from repro.workloads import SorWorkload
+
+WORKERS = 4
+
+
+def run(crash_time=None):
+    workload = SorWorkload(rows_per_block=3, cols=10, iterations=5)
+    system = DisomSystem(
+        ClusterConfig(processes=WORKERS, seed=11),
+        CheckpointPolicy(interval=25.0),
+    )
+    workload.setup(system)
+    if crash_time is not None:
+        system.inject_crash(1, at_time=crash_time)
+    result = system.run()
+    return workload, system, result
+
+
+def main() -> None:
+    print("== SOR, failure-free ==")
+    workload, _, base = run()
+    check = workload.verify(base)
+    print(f"completed in {base.duration:.1f} time units; "
+          f"matches sequential reference: {check.ok}")
+
+    print("\n== SOR with a crash of worker 1 mid-iteration ==")
+    workload, system, result = run(crash_time=base.duration * 0.5)
+    check = workload.verify(result)
+    record = result.recoveries[0]
+    print(f"completed in {result.duration:.1f} time units "
+          f"({result.duration - base.duration:+.1f} vs failure-free)")
+    print(f"recovery: detected t={record.detected_at:.1f}, duration "
+          f"{record.duration:.1f}, replayed acquires "
+          f"{record.replayed_acquires}")
+    print(f"grid matches sequential reference: {check.ok}")
+    print(f"dummy entries logged for local re-acquires: "
+          f"{result.metrics.total('dummies_created')}")
+    assert check.ok and not result.invariant_violations
+    print("\nOK: bit-identical grid after transparent recovery.")
+
+
+if __name__ == "__main__":
+    main()

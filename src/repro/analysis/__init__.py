@@ -1,0 +1,6 @@
+"""Measurement and reporting utilities for the experiments."""
+
+from repro.analysis.metrics import ProcessMetrics, SystemMetrics
+from repro.analysis.report import Table, format_table
+
+__all__ = ["ProcessMetrics", "SystemMetrics", "Table", "format_table"]

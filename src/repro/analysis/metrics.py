@@ -1,0 +1,132 @@
+"""Metric counters collected by the simulator.
+
+:class:`ProcessMetrics` is owned by each simulated process;
+:class:`SystemMetrics` aggregates across the cluster at the end of a run.
+These counters (plus :class:`repro.net.stats.NetworkStats`) are the raw
+material of every experiment row in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.checkpoint.policy import CheckpointStats
+
+
+@dataclass
+class ProcessMetrics:
+    """Per-process protocol counters."""
+
+    # -- coherence ---------------------------------------------------------
+    local_acquires: int = 0
+    remote_acquires: int = 0
+    request_forwards: int = 0
+    grants: int = 0
+    queued_requests: int = 0
+    ownership_transfers: int = 0
+    invalidations_sent: int = 0
+    invalidations_received: int = 0
+    release_writes: int = 0
+    release_reads: int = 0
+    duplicate_requests_discarded: int = 0
+
+    # -- checkpoint protocol ------------------------------------------------
+    log_entries_created: int = 0
+    log_bytes_created: int = 0
+    dummies_created: int = 0
+    dummies_shipped: int = 0
+    dummies_stored: int = 0
+    gc_log_entries_dropped: int = 0
+    gc_threadset_pairs_dropped: int = 0
+    gc_dummies_dropped: int = 0
+    gc_depset_entries_dropped: int = 0
+    checkpoints: CheckpointStats = field(default_factory=CheckpointStats)
+
+    # -- recovery ------------------------------------------------------------
+    replayed_acquires: int = 0
+    replayed_releases: int = 0
+    reissued_requests: int = 0
+    recovery_started_at: Optional[float] = None
+    recovery_finished_at: Optional[float] = None
+    survivor_rollbacks: int = 0  # must stay 0: the protocol is pessimistic
+
+    @property
+    def recovery_duration(self) -> Optional[float]:
+        if self.recovery_started_at is None or self.recovery_finished_at is None:
+            return None
+        return self.recovery_finished_at - self.recovery_started_at
+
+    def as_dict(self) -> dict:
+        return {
+            "local_acquires": self.local_acquires,
+            "remote_acquires": self.remote_acquires,
+            "request_forwards": self.request_forwards,
+            "grants": self.grants,
+            "queued_requests": self.queued_requests,
+            "ownership_transfers": self.ownership_transfers,
+            "invalidations_sent": self.invalidations_sent,
+            "invalidations_received": self.invalidations_received,
+            "release_writes": self.release_writes,
+            "release_reads": self.release_reads,
+            "duplicate_requests_discarded": self.duplicate_requests_discarded,
+            "log_entries_created": self.log_entries_created,
+            "log_bytes_created": self.log_bytes_created,
+            "dummies_created": self.dummies_created,
+            "dummies_shipped": self.dummies_shipped,
+            "dummies_stored": self.dummies_stored,
+            "gc_log_entries_dropped": self.gc_log_entries_dropped,
+            "gc_threadset_pairs_dropped": self.gc_threadset_pairs_dropped,
+            "gc_dummies_dropped": self.gc_dummies_dropped,
+            "gc_depset_entries_dropped": self.gc_depset_entries_dropped,
+            "checkpoints": self.checkpoints.count,
+            "checkpoint_bytes": self.checkpoints.bytes_total,
+            "replayed_acquires": self.replayed_acquires,
+            "replayed_releases": self.replayed_releases,
+            "reissued_requests": self.reissued_requests,
+            "recovery_duration": self.recovery_duration,
+            "survivor_rollbacks": self.survivor_rollbacks,
+        }
+
+
+@dataclass
+class SystemMetrics:
+    """Cluster-wide aggregate of :class:`ProcessMetrics` counters."""
+
+    per_process: dict[int, ProcessMetrics] = field(default_factory=dict)
+
+    def total(self, attribute: str) -> int:
+        return sum(getattr(metrics, attribute) for metrics in self.per_process.values())
+
+    @property
+    def total_local_acquires(self) -> int:
+        return self.total("local_acquires")
+
+    @property
+    def total_remote_acquires(self) -> int:
+        return self.total("remote_acquires")
+
+    @property
+    def total_log_bytes(self) -> int:
+        return self.total("log_bytes_created")
+
+    @property
+    def total_checkpoints(self) -> int:
+        return sum(m.checkpoints.count for m in self.per_process.values())
+
+    @property
+    def total_checkpoint_bytes(self) -> int:
+        return sum(m.checkpoints.bytes_total for m in self.per_process.values())
+
+    @property
+    def total_survivor_rollbacks(self) -> int:
+        return self.total("survivor_rollbacks")
+
+    def as_dict(self) -> dict:
+        keys = ProcessMetrics().as_dict().keys()
+        out = {}
+        for key in keys:
+            values = [m.as_dict()[key] for m in self.per_process.values()]
+            numeric = [v for v in values if isinstance(v, (int, float))]
+            out[key] = sum(numeric) if numeric else None
+        return out

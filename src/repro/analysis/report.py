@@ -1,0 +1,70 @@
+"""Plain-text table rendering for benchmark output and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table of rows; renders as aligned monospace text."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        return format_table(self.title, self.columns, self.rows, self.notes)
+
+
+def format_table(
+    title: str,
+    columns: list[str],
+    rows: Iterable[Iterable[Any]],
+    notes: Iterable[str] = (),
+) -> str:
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: list[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    out = [f"== {title} =="]
+    out.append(line(columns))
+    out.append(line(["-" * w for w in widths]))
+    for row in str_rows:
+        out.append(line(row))
+    for note in notes:
+        out.append(f"   note: {note}")
+    return "\n".join(out)

@@ -1,0 +1,106 @@
+"""Parameter-sweep utility for experiments and exploratory studies.
+
+A :class:`Sweep` runs a factory over the cross product of parameter axes,
+collects per-run metrics through an extractor, and renders the result as a
+table.  Used by the ``--full`` experiment mode and available to library
+users for their own studies::
+
+    sweep = Sweep(axes={"processes": [2, 4, 8], "seed": [0, 1]})
+    table = sweep.run(my_run_fn, extract=lambda r: {"msgs": r.net["total_messages"]})
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.analysis.report import Table
+
+
+@dataclass
+class SweepRow:
+    """One point of the sweep: the parameters and the extracted metrics."""
+
+    params: dict[str, Any]
+    metrics: dict[str, Any]
+    error: str | None = None
+
+
+@dataclass
+class Sweep:
+    """Cross-product parameter sweep."""
+
+    axes: Mapping[str, Iterable[Any]]
+    title: str = "sweep"
+
+    def points(self) -> list[dict[str, Any]]:
+        names = sorted(self.axes)
+        combos = itertools.product(*(list(self.axes[n]) for n in names))
+        return [dict(zip(names, combo)) for combo in combos]
+
+    def run(
+        self,
+        run_fn: Callable[..., Any],
+        extract: Callable[[Any], dict[str, Any]],
+        keep_errors: bool = False,
+    ) -> "SweepResult":
+        """Run ``run_fn(**params)`` at every point; extract metrics.
+
+        With ``keep_errors`` a failing point becomes a row with its error
+        recorded instead of propagating (useful for abort-rate studies).
+        """
+        rows: list[SweepRow] = []
+        for params in self.points():
+            try:
+                outcome = run_fn(**params)
+                rows.append(SweepRow(params, dict(extract(outcome))))
+            except Exception as exc:
+                if not keep_errors:
+                    raise
+                rows.append(SweepRow(params, {}, error=f"{type(exc).__name__}: {exc}"))
+        return SweepResult(title=self.title, rows=rows)
+
+
+@dataclass
+class SweepResult:
+    """Collected sweep rows with table rendering and simple aggregation."""
+
+    title: str
+    rows: list[SweepRow] = field(default_factory=list)
+
+    def metric_names(self) -> list[str]:
+        names: list[str] = []
+        for row in self.rows:
+            for key in row.metrics:
+                if key not in names:
+                    names.append(key)
+        return names
+
+    def param_names(self) -> list[str]:
+        return sorted(self.rows[0].params) if self.rows else []
+
+    def table(self) -> Table:
+        params = self.param_names()
+        metrics = self.metric_names()
+        table = Table(self.title, params + metrics + (["error"] if any(
+            r.error for r in self.rows) else []))
+        for row in self.rows:
+            values = [row.params[p] for p in params]
+            values += [row.metrics.get(m) for m in metrics]
+            if any(r.error for r in self.rows):
+                values.append(row.error or "-")
+            table.add_row(*values)
+        return table
+
+    def aggregate(self, metric: str, over: str) -> dict[Any, float]:
+        """Mean of ``metric`` grouped by the value of parameter ``over``."""
+        groups: dict[Any, list[float]] = {}
+        for row in self.rows:
+            value = row.metrics.get(metric)
+            if isinstance(value, (int, float)):
+                groups.setdefault(row.params[over], []).append(float(value))
+        return {key: sum(vals) / len(vals) for key, vals in groups.items() if vals}
+
+    def column(self, metric: str) -> list[Any]:
+        return [row.metrics.get(metric) for row in self.rows]

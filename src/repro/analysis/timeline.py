@@ -1,0 +1,77 @@
+"""ASCII timeline rendering of a traced run.
+
+Turns the structured trace log into a compact per-process lane diagram --
+useful for understanding a recovery in a terminal::
+
+    t=    40.0  P1  X crashed
+    t=    45.0  ..  ! crash of P1 detected
+    t=    57.9  P1  R replaying 5 acquires
+    t=    82.9  P1  + recovery complete
+
+Only "landmark" categories are rendered by default (failures, recovery
+phases, checkpoints, aborts); pass extra categories for more detail.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.sim.tracing import TraceLog, TraceRecord
+
+_DEFAULT_CATEGORIES = ("failure", "recovery", "checkpoint", "abort")
+
+_MARKS = {
+    "failure": "X",
+    "recovery": "R",
+    "checkpoint": "C",
+    "abort": "!",
+    "net": ".",
+    "thread": "t",
+    "app": "a",
+}
+
+_PID_RE = re.compile(r"\bP(\d+)\b")
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    time: float
+    pid: Optional[int]
+    category: str
+    message: str
+
+    def render(self) -> str:
+        lane = f"P{self.pid}" if self.pid is not None else ".."
+        mark = _MARKS.get(self.category, "*")
+        return f"t={self.time:10.2f}  {lane:>4}  {mark} {self.message}"
+
+
+def extract_events(
+    trace: TraceLog,
+    categories: Iterable[str] = _DEFAULT_CATEGORIES,
+) -> list[TimelineEvent]:
+    wanted = set(categories)
+    events = []
+    for record in trace.records:
+        if record.category not in wanted:
+            continue
+        match = _PID_RE.search(record.message)
+        pid = int(match.group(1)) if match else None
+        events.append(TimelineEvent(record.time, pid, record.category,
+                                    record.message))
+    return events
+
+
+def render_timeline(
+    trace: TraceLog,
+    categories: Iterable[str] = _DEFAULT_CATEGORIES,
+    max_events: int = 200,
+) -> str:
+    """Render the trace as an ASCII timeline (truncated to ``max_events``)."""
+    events = extract_events(trace, categories)
+    lines = [event.render() for event in events[:max_events]]
+    if len(events) > max_events:
+        lines.append(f"... {len(events) - max_events} more events")
+    return "\n".join(lines) if lines else "(no events -- was tracing enabled?)"

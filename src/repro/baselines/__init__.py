@@ -1,0 +1,42 @@
+"""Baseline fault-tolerance schemes the paper compares against.
+
+Every baseline is a pluggable per-process protocol implementing
+:class:`repro.baselines.base.FaultToleranceProtocol`, running on the same
+entry-consistency coherence substrate and the same workloads as the
+paper's protocol, so the experiment harness compares logging volume,
+stable-storage traffic, extra messages, checkpoint counts and blocked
+time on *identical executions*.
+
+| Baseline | Source | What it models |
+|---|---|---|
+| ``NullProtocol`` | -- | no fault tolerance (overhead denominator) |
+| ``RichardSinghalProtocol`` | Richard & Singhal [12] | SC-style: log every page received, flush to stable storage when a modified page is transferred |
+| ``StummZhouProtocol`` | Stumm & Zhou [24] | read-replication: dirty page copies ride every message |
+| ``ReceiverMessageLogging`` | Strom & Yemini [23] | pessimistic receiver-side message logging to stable storage |
+| ``SenderMessageLogging`` | Johnson & Zwaenepoel [14] | sender-side volatile message logging |
+| ``JanssensFuchsProtocol`` | Janssens & Fuchs [13] | communication-induced checkpoint before updates become visible |
+| ``CoordinatedProtocol`` | Koo & Toueg [15] family | blocking two-phase coordinated checkpointing; recovery = global rollback |
+
+Page-based baselines take a ``page_size``: sequential-consistency DSMs of
+the era shipped and logged whole VM pages, so their per-transfer cost is
+``max(object_bytes, page_size)`` (see DESIGN.md substitution notes).
+"""
+
+from repro.baselines.base import FaultToleranceProtocol
+from repro.baselines.noft import NullProtocol
+from repro.baselines.rs_logging import RichardSinghalProtocol
+from repro.baselines.sz_replication import StummZhouProtocol
+from repro.baselines.msg_logging import ReceiverMessageLogging, SenderMessageLogging
+from repro.baselines.jf_cic import JanssensFuchsProtocol
+from repro.baselines.coordinated import CoordinatedProtocol
+
+__all__ = [
+    "CoordinatedProtocol",
+    "FaultToleranceProtocol",
+    "JanssensFuchsProtocol",
+    "NullProtocol",
+    "ReceiverMessageLogging",
+    "RichardSinghalProtocol",
+    "SenderMessageLogging",
+    "StummZhouProtocol",
+]

@@ -1,0 +1,25 @@
+"""No fault tolerance: the overhead denominator.
+
+Runs the bare entry-consistency coherence protocol with no logging, no
+checkpoints and no piggybacked control information.  A crash is fatal (the
+application aborts) -- which is exactly the paper's motivation paragraph:
+"If no provision is made for handling failures, it is unlikely that long
+running applications will terminate successfully."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.baselines.base import FaultToleranceProtocol
+
+
+class NullProtocol(FaultToleranceProtocol):
+    """All hooks inherited as no-ops."""
+
+    name = "none"
+    supports_recovery = False
+
+    @classmethod
+    def factory(cls) -> Callable[[Any], "NullProtocol"]:
+        return cls

@@ -1,0 +1,66 @@
+"""Stumm & Zhou [24]: fault-tolerant read-replication DSM.
+
+"In their read-replication algorithm a process sends a copy of the dirty
+pages on every message send" -- i.e. modified pages are eagerly replicated
+to survive the sender's failure.  We account the extra bytes that rides on
+every outgoing message (the dirty set is cleared once shipped, as a
+replica then exists elsewhere).
+
+The paper notes this is only "a partial solution to the process recovery
+problem, since only the state of shared pages is recovered" -- so this
+baseline, too, is a failure-free cost model (threads cannot be recovered).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.baselines.base import FaultToleranceProtocol
+from repro.memory.objects import SharedObject
+from repro.net.message import Message
+from repro.net.sizing import payload_size
+from repro.threads.thread import Thread
+
+
+class StummZhouProtocol(FaultToleranceProtocol):
+    """See module docstring."""
+
+    name = "stumm-zhou"
+    supports_recovery = False
+
+    def __init__(self, process: Any, page_size: int = 4096) -> None:
+        super().__init__(process)
+        self.page_size = page_size
+        self._dirty: set[str] = set()
+        self.replication_bytes = 0
+        self.replication_pages = 0
+        self.carrier_messages = 0
+
+    @classmethod
+    def factory(cls, page_size: int = 4096) -> Callable:
+        return lambda process: cls(process, page_size)
+
+    def on_release_write(self, thread: Thread, obj: SharedObject) -> None:
+        self._dirty.add(obj.obj_id)
+
+    def on_message_sent(self, message: Message) -> None:
+        if not self._dirty:
+            return
+        extra = 0
+        for obj_id in self._dirty:
+            obj = self.process.directory.get(obj_id)
+            extra += max(payload_size(obj.data), self.page_size)
+            self.replication_pages += 1
+        self._dirty.clear()
+        self.replication_bytes += extra
+        self.carrier_messages += 1
+        # Account the replica bytes as piggyback on the network stats so
+        # byte totals are comparable across schemes.
+        self.process.network.stats.piggyback_bytes += extra
+
+    def overhead_summary(self) -> dict[str, Any]:
+        return {
+            "replication_bytes": self.replication_bytes,
+            "replication_pages": self.replication_pages,
+            "carrier_messages": self.carrier_messages,
+        }

@@ -1,0 +1,37 @@
+"""The paper's contribution: distributed-log checkpointing for DiSOM.
+
+Layout (paper section mapping):
+
+* :mod:`repro.checkpoint.log` -- regular log entries (figure 4) and the
+  per-process volatile log;
+* :mod:`repro.checkpoint.dummy` -- dummy log entries (figure 5) for local
+  acquires, shipped by piggyback;
+* :mod:`repro.checkpoint.stable` -- stable-storage model for checkpoints;
+* :mod:`repro.checkpoint.policy` -- when to checkpoint (periodic timer /
+  log high-water mark, section 4.2);
+* :mod:`repro.checkpoint.protocol` -- failure-free behaviour (section 4.2),
+  wired into the coherence engine's hook points;
+* :mod:`repro.checkpoint.gc` -- garbage collection on CkpSet broadcast
+  (section 4.4);
+* :mod:`repro.checkpoint.recovery` -- data collection (section 4.3.1);
+* :mod:`repro.checkpoint.replay` -- log replay (section 4.3.2);
+* :mod:`repro.checkpoint.detection` -- multiple-failure detection
+  (section 4.5).
+"""
+
+from repro.checkpoint.log import LogEntry, ProcessLog, ThreadSetPair
+from repro.checkpoint.dummy import DummyEntry, DummyLog
+from repro.checkpoint.policy import CheckpointPolicy, CkpSet
+from repro.checkpoint.stable import Checkpoint, StableStore
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointPolicy",
+    "CkpSet",
+    "DummyEntry",
+    "DummyLog",
+    "LogEntry",
+    "ProcessLog",
+    "StableStore",
+    "ThreadSetPair",
+]

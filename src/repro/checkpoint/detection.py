@@ -1,0 +1,101 @@
+"""Multiple-failure detection (paper section 4.5, Theorem 2).
+
+After collecting recovery data, the per-thread ``LogList`` is scanned for a
+*maximum-length contiguous prefix*: one element per logical time starting
+at the logical time at checkpoint.  A gap means some logged object version
+was lost (in a second failure, or with an unshipped dummy tail); the rest
+of the list is discarded and the thread resumes from the prefix end.
+
+Recovery is impossible -- conservatively -- when some surviving thread
+depends on a version produced *beyond* the prefix: an element in the
+``DependList`` with a logical time larger than the last prefix element's.
+In that case the application is aborted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import ProtocolError
+from repro.types import Dependency, Tid
+
+
+@dataclass(frozen=True)
+class PrefixResult:
+    """Outcome of prefix truncation for one thread's LogList."""
+
+    kept: int
+    discarded: int
+    #: Logical time of the last element in the prefix (= the checkpoint
+    #: logical time when the prefix is empty): the thread's resume point.
+    resume_lt: int
+
+    @property
+    def truncated(self) -> bool:
+        return self.discarded > 0
+
+
+def find_prefix(ckpt_lt: int, item_lts: Sequence[int]) -> PrefixResult:
+    """Maximum-length prefix with one element per logical time.
+
+    ``item_lts`` must be sorted ascending.  Elements must start right
+    after the checkpoint logical time and be contiguous; the first gap
+    ends the prefix.  Duplicate logical times indicate a double grant --
+    a protocol invariant violation -- and raise :class:`ProtocolError`.
+    """
+    expected = ckpt_lt + 1
+    kept = 0
+    previous: Optional[int] = None
+    for lt in item_lts:
+        if previous is not None and lt == previous:
+            raise ProtocolError(
+                f"duplicate LogList element at logical time {lt} "
+                "(double grant of one acquire)"
+            )
+        if lt != expected:
+            break
+        kept += 1
+        expected += 1
+        previous = lt
+    return PrefixResult(
+        kept=kept,
+        discarded=len(item_lts) - kept,
+        resume_lt=ckpt_lt + kept,
+    )
+
+
+def find_unrecoverable(
+    depend_list: Sequence[Dependency], resume_lt: int
+) -> Optional[Dependency]:
+    """First dependency proving the state unrecoverable, if any.
+
+    ``depend_list`` holds dependencies on versions produced by one
+    recovering thread; ``resume_lt`` is that thread's prefix end.  A
+    dependency satisfied at a producer logical time beyond the prefix
+    refers to a version the thread may not re-produce (Theorem 2's
+    conservative test).
+    """
+    for dep in depend_list:
+        if dep.ep_prd.lt > resume_lt:
+            return dep
+    return None
+
+
+@dataclass
+class DetectionReport:
+    """Aggregate detection outcome across one recovering process's threads."""
+
+    prefixes: dict[Tid, PrefixResult]
+    abort_reason: Optional[str] = None
+
+    @property
+    def aborted(self) -> bool:
+        return self.abort_reason is not None
+
+    @property
+    def any_truncated(self) -> bool:
+        return any(p.truncated for p in self.prefixes.values())
+
+    def resume_lts(self) -> dict[Tid, int]:
+        return {tid: p.resume_lt for tid, p in self.prefixes.items()}

@@ -1,0 +1,112 @@
+"""Dummy log entries (paper figure 5) and their per-process store.
+
+A dummy entry describes a *local* acquire -- one satisfied from the local
+copy without any message exchange.  Because both the acquiring thread and
+the observed object state live in the same process, the record of the
+acquire would die with that process; the entry is therefore shipped,
+piggybacked on the next coherence-protocol message the process sends, to
+whatever process that message goes to (section 4.2, local-acquire step 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional
+
+from repro.types import AcquireType, ExecutionPoint, ObjectId, ProcessId
+
+
+@dataclass(frozen=True, slots=True)
+class DummyEntry:
+    """Figure 5: ``objId, epAcq, localDep, Plog``.
+
+    ``local_dep`` is the execution point of the local event (previous local
+    acquire or release on the same object -- the object's ``epDep``) that
+    must be reproduced before this acquire can replay.  ``p_log`` is filled
+    by the receiving process when the entry is shipped.
+
+    ``type`` is implementation metadata (not in the paper's figure): the
+    acquire mode, kept only so replay can assert the re-executed program
+    issues the same kind of acquire.
+    """
+
+    obj_id: ObjectId
+    ep_acq: ExecutionPoint
+    local_dep: Optional[ExecutionPoint]
+    p_log: Optional[ProcessId] = None
+    type: AcquireType = AcquireType.READ
+
+    def stored_at(self, pid: ProcessId) -> "DummyEntry":
+        """Copy with ``Plog`` set; made by the receiver when it stores the entry."""
+        return replace(self, p_log=pid)
+
+    @property
+    def creator_pid(self) -> ProcessId:
+        """Process whose thread performed the local acquire."""
+        return self.ep_acq.tid.pid
+
+    def size_bytes(self) -> int:
+        return 48
+
+    def __str__(self) -> str:
+        dep = str(self.local_dep) if self.local_dep is not None else "-"
+        return f"dummy({self.obj_id} acq={self.ep_acq} dep={dep} Plog={self.p_log})"
+
+
+class DummyLog:
+    """Per-process store of dummy entries *received from other processes*.
+
+    Entries created locally and not yet shipped are held separately by the
+    checkpoint protocol (they are deleted, not stored, once shipped).
+    """
+
+    def __init__(self, local_pid: ProcessId) -> None:
+        self.local_pid = local_pid
+        self._entries: list[DummyEntry] = []
+        self.stored_total = 0
+
+    def store(self, entry: DummyEntry) -> DummyEntry:
+        """Store a shipped entry, stamping our pid into ``Plog``."""
+        stamped = entry.stored_at(self.local_pid)
+        self._entries.append(stamped)
+        self.stored_total += 1
+        return stamped
+
+    def __iter__(self) -> Iterator[DummyEntry]:
+        return iter(list(self._entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def size_bytes(self) -> int:
+        return sum(entry.size_bytes() for entry in self._entries)
+
+    def entries_created_by(self, pid: ProcessId) -> list[DummyEntry]:
+        return [e for e in self._entries if e.creator_pid == pid]
+
+    def remove_before(self, pid: ProcessId, ckpt_lts: dict) -> int:
+        """GC: drop entries created by ``pid`` before its checkpoint.
+
+        ``ckpt_lts`` maps the checkpointing process's tids to their logical
+        times at checkpoint; an entry with ``epAcq`` strictly before the
+        matching thread's checkpoint point is no longer needed (section 4.4).
+        """
+        survivors: list[DummyEntry] = []
+        removed = 0
+        for entry in self._entries:
+            ckpt_lt = ckpt_lts.get(entry.ep_acq.tid)
+            if entry.creator_pid == pid and ckpt_lt is not None and entry.ep_acq.lt < ckpt_lt:
+                removed += 1
+            else:
+                survivors.append(entry)
+        self._entries = survivors
+        return removed
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def snapshot(self) -> list[DummyEntry]:
+        return list(self._entries)
+
+    def restore(self, entries: list[DummyEntry]) -> None:
+        self._entries = list(entries)

@@ -1,0 +1,90 @@
+"""Garbage collection of protocol data structures (paper section 4.4).
+
+Three stores grow during the failure-free period and are trimmed when a
+``CkpSet`` announcement arrives from a checkpointing process ``P_ckp``:
+
+1. regular log entries: threadSet pairs describing acquires by ``P_ckp``'s
+   threads *before* the checkpoint are dropped; old entries (not the last
+   version) whose threadSet becomes empty are deleted;
+2. dummy log entries created by ``P_ckp`` before the checkpoint are
+   deleted;
+3. depSet entries whose producer execution point precedes ``P_ckp``'s
+   checkpoint are dropped (the producer's checkpointed log already
+   contains the corresponding threadSet pairs).
+
+All functions return the number of items removed, for the E9 experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.checkpoint.dummy import DummyLog
+from repro.checkpoint.log import ProcessLog
+from repro.checkpoint.policy import CkpSet
+from repro.threads.thread import Thread
+from repro.types import Tid
+
+
+def gc_thread_sets(log: ProcessLog, ckp_set: CkpSet) -> tuple[int, int]:
+    """Trim threadSets against ``ckp_set``; drop dead old entries.
+
+    Returns ``(pairs_removed, entries_removed)``.
+    """
+    lts = ckp_set.lts_by_tid()
+    pairs_removed = 0
+    for entry in log:
+        kept = []
+        for pair in entry.thread_set:
+            ckpt_lt = lts.get(pair.ep_acq.tid)
+            if ckpt_lt is not None and pair.ep_acq.lt < ckpt_lt:
+                pairs_removed += 1
+            else:
+                kept.append(pair)
+        entry.thread_set[:] = kept
+    entries_removed = log.drop_old_unreferenced()
+    return pairs_removed, entries_removed
+
+
+def gc_dummy_log(dummy_log: DummyLog, ckp_set: CkpSet) -> int:
+    """Drop stored dummy entries created by ``P_ckp`` before its checkpoint."""
+    return dummy_log.remove_before(ckp_set.pid, ckp_set.lts_by_tid())
+
+
+def gc_dep_sets(threads: Iterable[Thread], ckp_set: CkpSet) -> int:
+    """Drop depSet entries with ``ep_prd`` before the producer's checkpoint."""
+    lts = ckp_set.lts_by_tid()
+    removed = 0
+    for thread in threads:
+        kept = []
+        for dep in thread.dep_set:
+            ckpt_lt = lts.get(dep.ep_prd.tid)
+            if (
+                dep.ep_prd.tid.pid == ckp_set.pid
+                and ckpt_lt is not None
+                and dep.ep_prd.lt < ckpt_lt
+            ):
+                removed += 1
+            else:
+                kept.append(dep)
+        thread.dep_set[:] = kept
+    return removed
+
+
+def gc_own_local_deps(threads: Iterable[Thread], thread_lts: dict[Tid, int]) -> int:
+    """At checkpoint time, drop this process's own *local* dependencies
+    whose acquire happened before the checkpoint (their dummy entries are
+    simultaneously discarded, section 4.4 third paragraph)."""
+    removed = 0
+    for thread in threads:
+        ckpt_lt = thread_lts.get(thread.tid)
+        if ckpt_lt is None:
+            continue
+        kept = []
+        for dep in thread.dep_set:
+            if dep.local and dep.ep_acq.lt < ckpt_lt:
+                removed += 1
+            else:
+                kept.append(dep)
+        thread.dep_set[:] = kept
+    return removed

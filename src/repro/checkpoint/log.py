@@ -1,0 +1,169 @@
+"""Regular log entries and the per-process volatile log (paper figure 4).
+
+A log entry is created when a ``release-write`` is issued (and, in this
+implementation, when an object is created -- its version V0 behaves exactly
+like a produced version, with a pseudo-producer thread).  The entry lives
+in the *producer's* volatile memory; the independent-failure assumption of
+workstation clusters makes that sufficient for single-failure recovery.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from repro.errors import ProtocolError
+from repro.net.sizing import payload_size
+from repro.types import ExecutionPoint, ObjectId, ProcessId, Tid
+
+
+@dataclass(frozen=True, slots=True)
+class ThreadSetPair:
+    """One ``threadSet`` element: ``<ep_acq, ep_prd>``.
+
+    ``ep_acq`` is the execution point of the acquire; ``ep_prd`` the
+    producer thread's execution point when the acquire request was
+    satisfied (paper section 4.1).
+    """
+
+    ep_acq: ExecutionPoint
+    ep_prd: ExecutionPoint
+
+    def __str__(self) -> str:
+        return f"<acq={self.ep_acq},prd={self.ep_prd}>"
+
+
+@dataclass
+class LogEntry:
+    """Figure 4: ``objId, version, objData, tidPrd, nextOwner, threadSet``.
+
+    ``ep_release`` (implementation metadata, not in the paper's figure) is
+    the producer thread's execution point at the release that created this
+    version; recovery uses it to attach surviving processes' dependency
+    entries to the correct version (see DESIGN.md section 4.3.2 note).
+    """
+
+    obj_id: ObjectId
+    version: int
+    obj_data: Any
+    tid_prd: Tid
+    next_owner: Optional[ProcessId] = None
+    thread_set: list[ThreadSetPair] = field(default_factory=list)
+    ep_release: Optional[ExecutionPoint] = None
+    #: Execution point of the write acquire that set ``next_owner``
+    #: (implementation metadata): lets ownership be reclaimed when a
+    #: multi-failure rollback discards that acquire.
+    next_owner_ep: Optional[ExecutionPoint] = None
+    #: The granter's copySet at the moment ownership moved (implementation
+    #: metadata).  The threadSet alone under-approximates it once GC has
+    #: removed pairs for readers whose own checkpoints cover their
+    #: acquires; a recovering writer needs the full set to (re-)invalidate.
+    copy_set_at_grant: Optional[frozenset] = None
+
+    def add_access(self, ep_acq: ExecutionPoint, ep_prd: ExecutionPoint) -> None:
+        self.thread_set.append(ThreadSetPair(ep_acq, ep_prd))
+
+    def data_copy(self) -> Any:
+        return copy.deepcopy(self.obj_data)
+
+    def size_bytes(self) -> int:
+        """Approximate memory footprint: data plus bookkeeping."""
+        return payload_size(self.obj_data) + 40 + 32 * len(self.thread_set)
+
+    def clone(self) -> "LogEntry":
+        return LogEntry(
+            obj_id=self.obj_id,
+            version=self.version,
+            obj_data=copy.deepcopy(self.obj_data),
+            tid_prd=self.tid_prd,
+            next_owner=self.next_owner,
+            thread_set=list(self.thread_set),
+            ep_release=self.ep_release,
+            next_owner_ep=self.next_owner_ep,
+            copy_set_at_grant=self.copy_set_at_grant,
+        )
+
+    def __str__(self) -> str:
+        nxt = f"->{self.next_owner}" if self.next_owner is not None else ""
+        return (f"log({self.obj_id}:v{self.version} by {self.tid_prd}{nxt} "
+                f"ts={len(self.thread_set)})")
+
+
+class ProcessLog:
+    """The volatile log of one process: regular entries, ordered by creation.
+
+    Entries are indexed per object so the owner can reach "the object's
+    last version in the log" in O(1) (paper section 4.2 step 2).
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[LogEntry] = []
+        self._by_object: dict[ObjectId, list[LogEntry]] = {}
+        #: Total entries ever appended (GC does not decrease this).
+        self.appended = 0
+        #: Total bytes ever logged (GC does not decrease this).
+        self.appended_bytes = 0
+
+    def append(self, entry: LogEntry) -> None:
+        per_obj = self._by_object.setdefault(entry.obj_id, [])
+        if per_obj and per_obj[-1].version >= entry.version:
+            raise ProtocolError(
+                f"log versions must increase: {per_obj[-1]} then {entry}"
+            )
+        self._entries.append(entry)
+        per_obj.append(entry)
+        self.appended += 1
+        self.appended_bytes += entry.size_bytes()
+
+    def last_entry(self, obj_id: ObjectId) -> Optional[LogEntry]:
+        per_obj = self._by_object.get(obj_id)
+        return per_obj[-1] if per_obj else None
+
+    def entries_for(self, obj_id: ObjectId) -> list[LogEntry]:
+        return list(self._by_object.get(obj_id, []))
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(list(self._entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def size_bytes(self) -> int:
+        return sum(entry.size_bytes() for entry in self._entries)
+
+    # ------------------------------------------------------------------
+    # garbage collection primitives (paper section 4.4)
+    # ------------------------------------------------------------------
+    def is_old(self, entry: LogEntry) -> bool:
+        """Old = not the last version of its object *in this log*."""
+        per_obj = self._by_object.get(entry.obj_id)
+        return bool(per_obj) and per_obj[-1] is not entry
+
+    def remove(self, entry: LogEntry) -> None:
+        self._entries.remove(entry)
+        per_obj = self._by_object.get(entry.obj_id, [])
+        if entry in per_obj:
+            per_obj.remove(entry)
+
+    def drop_old_unreferenced(self) -> int:
+        """Delete old entries with an empty threadSet; returns count."""
+        victims = [e for e in self._entries if self.is_old(e) and not e.thread_set]
+        for entry in victims:
+            self.remove(entry)
+        return len(victims)
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def snapshot(self) -> list[LogEntry]:
+        return [entry.clone() for entry in self._entries]
+
+    def restore(self, entries: list[LogEntry]) -> None:
+        self._entries = []
+        self._by_object = {}
+        for entry in entries:
+            self.append(entry.clone())
+        # restore() replays appends; undo the double counting.
+        self.appended -= len(entries)
+        self.appended_bytes -= sum(e.size_bytes() for e in entries)

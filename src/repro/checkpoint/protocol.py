@@ -1,0 +1,525 @@
+"""Failure-free checkpoint protocol (paper section 4.2).
+
+:class:`DisomCheckpointProtocol` plugs into the coherence engine's hook
+points and maintains, per process:
+
+* the volatile log of produced object versions (figure 4);
+* the dummy-entry machinery for local acquires (figure 5), including the
+  "ship with the next coherence message" piggyback rule;
+* per-thread depSets (figure 3);
+* uncoordinated checkpoints to stable storage, triggered by a periodic
+  timer or the log high-water mark, followed by the CkpSet garbage
+  collection broadcast (section 4.4) -- itself piggybacked by default.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.checkpoint.dummy import DummyEntry, DummyLog
+from repro.checkpoint.gc import (
+    gc_dep_sets,
+    gc_dummy_log,
+    gc_own_local_deps,
+    gc_thread_sets,
+)
+from repro.checkpoint.log import LogEntry, ProcessLog
+from repro.checkpoint.policy import CheckpointPolicy, CkpSet
+from repro.checkpoint.stable import Checkpoint
+from repro.baselines.base import FaultToleranceProtocol
+from repro.errors import ProtocolError
+from repro.memory.coherence import PendingRequest
+from repro.memory.objects import SharedObject, SharedObjectSpec
+from repro.net.message import MessageKind
+from repro.threads.thread import Thread, snapshot
+from repro.types import (
+    AcquireType,
+    Dependency,
+    ExecutionPoint,
+    ProcessId,
+    Tid,
+)
+
+
+def pseudo_tid(pid: ProcessId) -> Tid:
+    """The pseudo-thread standing for "object creation" at a home process.
+
+    Version V0 exists from creation (section 3.1); its producer is not a
+    real thread, so grants of V0 use this sentinel with logical time 0.
+    """
+    return Tid(pid, -1)
+
+
+def pseudo_ep(pid: ProcessId) -> ExecutionPoint:
+    return ExecutionPoint(pseudo_tid(pid), 0)
+
+
+def is_pseudo(point: ExecutionPoint) -> bool:
+    return point.tid.local == -1
+
+
+def make_ownership_entry(pid: ProcessId, obj_id: str, version: int,
+                         data: Any) -> LogEntry:
+    """A bare log entry standing for ownership of a version produced
+    elsewhere (installed by recovery replay, or restored from a
+    checkpoint taken while the ownership reply was mid-flight).
+
+    The producer keeps the original entry with its threadSet; this copy
+    only lets the new owner serve grants ("the object's last version in
+    the log", section 4.2 step 2).  The pseudo producer's execution point
+    is ``(pid,-1)@version`` so dependency attachment during a later
+    recovery resolves to the right entry.
+    """
+    return LogEntry(
+        obj_id=obj_id,
+        version=version,
+        obj_data=data,
+        tid_prd=pseudo_tid(pid),
+        ep_release=ExecutionPoint(pseudo_tid(pid), version),
+    )
+
+
+class DisomCheckpointProtocol(FaultToleranceProtocol):
+    """The paper's checkpoint protocol, failure-free side."""
+
+    name = "disom"
+    supports_recovery = True
+
+    def __init__(self, process: Any, policy: CheckpointPolicy) -> None:
+        # ``process`` is the hosting DisomProcess; duck-typed to avoid a
+        # circular import (it provides pid, kernel, threads, directory,
+        # metrics, stable_store, peer_pids() and send_raw()).
+        super().__init__(process)
+        self.policy = policy
+        self.log = ProcessLog()
+        self.dummy_log = DummyLog(process.pid)
+        #: Dummy entries created locally, not yet shipped off-node.
+        self.pending_dummies: list[DummyEntry] = []
+        #: GC CkpSets awaiting piggyback, per destination.
+        self.pending_gc: dict[ProcessId, list[CkpSet]] = {}
+        self.ckpt_seq = 0
+        self.last_ckp_set: Optional[CkpSet] = None
+        self._timer_event = None
+        #: True while the hosting process is being recovered: replayed
+        #: release-writes must not trigger high-water checkpoints.
+        self.suppress_checkpoints = False
+        #: Fingerprint of the previous checkpoint's state, used by the
+        #: incremental-checkpoint extension to size the delta.
+        self._ckpt_fingerprint: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # shorthand
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        if self.policy.initial_checkpoint:
+            self.take_checkpoint("initial")
+        self.start_timer()
+
+    def overhead_summary(self) -> dict[str, Any]:
+        return {
+            "log_bytes": self.metrics.log_bytes_created,
+            "log_entries": self.metrics.log_entries_created,
+            "dummies": self.metrics.dummies_created,
+            "checkpoints": self.metrics.checkpoints.count,
+            "checkpoint_bytes": self.metrics.checkpoints.bytes_total,
+        }
+
+    # ==================================================================
+    # CoherenceHooks implementation
+    # ==================================================================
+    def on_object_created(self, obj: SharedObject, spec: SharedObjectSpec) -> None:
+        if spec.home != self.pid:
+            return
+        # V0 behaves like any produced version: it gets a log entry so that
+        # acquires of it are recoverable.
+        entry = LogEntry(
+            obj_id=obj.obj_id,
+            version=0,
+            obj_data=snapshot(obj.data),
+            tid_prd=pseudo_tid(self.pid),
+            ep_release=pseudo_ep(self.pid),
+        )
+        self.log.append(entry)
+        self.metrics.log_entries_created += 1
+        self.metrics.log_bytes_created += entry.size_bytes()
+
+    def on_local_acquire(
+        self,
+        thread: Thread,
+        obj: SharedObject,
+        acq_type: AcquireType,
+        ep_acq: ExecutionPoint,
+        local_dep: Optional[ExecutionPoint],
+    ) -> None:
+        # Paper 4.2, local acquire step 1.
+        dep_point = local_dep if local_dep is not None else pseudo_ep(self.pid)
+        dummy = DummyEntry(
+            obj_id=obj.obj_id,
+            ep_acq=ep_acq,
+            local_dep=dep_point,
+            p_log=None,
+            type=acq_type,
+        )
+        self.pending_dummies.append(dummy)
+        self.metrics.dummies_created += 1
+        thread.dep_set.append(
+            Dependency(obj.obj_id, acq_type, ep_acq, dep_point, self.pid, local=True)
+        )
+        if acq_type.is_write:
+            # A local write also supersedes the last version: mark its log
+            # entry so that a recovering remote *reader* of that version
+            # learns (via the InvalidSet) that its copy went stale.  The
+            # paper's step 2(b) only covers remote writers; this is the
+            # local-writer analogue.
+            entry = self.log.last_entry(obj.obj_id)
+            if entry is not None and entry.version == obj.version:
+                entry.next_owner = self.pid
+                entry.next_owner_ep = ep_acq
+                entry.copy_set_at_grant = frozenset(obj.copy_set)
+        if self.policy.dummy_transport == "eager":
+            self._ship_dummies_eagerly()
+
+    def on_remote_grant(self, obj: SharedObject, req: PendingRequest) -> dict[str, Any]:
+        # Paper 4.2 step 2: record the access in the last version's
+        # threadSet; for writes also pre-record the next owner.
+        entry = self.log.last_entry(obj.obj_id)
+        if entry is None:
+            raise ProtocolError(
+                f"{self.pid}: owner of {obj.obj_id} has no log entry for the "
+                f"last version (v{obj.version})"
+            )
+        if entry.version != obj.version:
+            raise ProtocolError(
+                f"{self.pid}: last log entry v{entry.version} does not match "
+                f"object version v{obj.version} for {obj.obj_id}"
+            )
+        ep_prd = self._producer_ep(entry)
+        entry.add_access(req.ep_acq, ep_prd)
+        if req.type.is_write:
+            entry.next_owner = req.p_acq
+            entry.next_owner_ep = req.ep_acq
+            entry.copy_set_at_grant = frozenset(obj.copy_set - {req.p_acq})
+        return {"ep_prd": ep_prd}
+
+    def _producer_ep(self, entry: LogEntry) -> ExecutionPoint:
+        """Current execution point of the producer thread (paper 4.2)."""
+        tid_prd = entry.tid_prd
+        if tid_prd.local == -1:
+            # Pseudo producer (V0 creation, or an ownership entry): its
+            # "current" point is the entry's own release point.
+            if entry.ep_release is not None:
+                return entry.ep_release
+            return pseudo_ep(tid_prd.pid)
+        thread = self.process.threads.get(tid_prd)
+        if thread is None:
+            raise ProtocolError(
+                f"{self.pid}: producer thread {tid_prd} not found locally"
+            )
+        # Only completed acquires count: an in-flight acquire's tick is not
+        # a reproducible execution point, and using it would make the
+        # multiple-failure detector falsely conservative (it would demand a
+        # LogList element for an acquire that never happened).
+        return thread.completed_ep()
+
+    def on_reply_received(
+        self,
+        thread: Thread,
+        obj: SharedObject,
+        acq_type: AcquireType,
+        ep_acq: ExecutionPoint,
+        p_prd: ProcessId,
+        control: dict[str, Any],
+    ) -> None:
+        # Paper 4.2 step 3: record the dependency <objId,type,ep_acq,ep_prd,P>.
+        thread.dep_set.append(
+            Dependency(obj.obj_id, acq_type, ep_acq, control["ep_prd"], p_prd)
+        )
+
+    def on_ownership_installed(self, obj: SharedObject) -> None:
+        # We own a version produced elsewhere and may serve (read) grants
+        # before any local release: materialize the owner's entry.
+        last = self.log.last_entry(obj.obj_id)
+        if last is None or last.version < obj.version:
+            from repro.threads.thread import snapshot as _snap
+
+            self.log.append(make_ownership_entry(
+                self.pid, obj.obj_id, obj.version, _snap(obj.data)
+            ))
+
+    def on_release_write(self, thread: Thread, obj: SharedObject) -> None:
+        # Paper 4.2 step 4: a new version was produced; log it.
+        entry = LogEntry(
+            obj_id=obj.obj_id,
+            version=obj.version,
+            obj_data=snapshot(obj.data),
+            tid_prd=thread.tid,
+            ep_release=thread.current_ep(),
+        )
+        self.log.append(entry)
+        self.metrics.log_entries_created += 1
+        self.metrics.log_bytes_created += entry.size_bytes()
+        if self.policy.highwater_exceeded(self.log.size_bytes()):
+            # Take the checkpoint outside the release path.
+            self.process.kernel.call_soon(
+                self._highwater_checkpoint, label=f"highwater-ckpt P{self.pid}"
+            )
+
+    def _highwater_checkpoint(self) -> None:
+        if (
+            self.process.alive
+            and not self.suppress_checkpoints
+            and self.policy.highwater_exceeded(self.log.size_bytes())
+        ):
+            self.take_checkpoint("highwater")
+
+    # ==================================================================
+    # piggyback transport (the "no extra messages" mechanism)
+    # ==================================================================
+    def collect_piggyback(self, dst: ProcessId) -> tuple[list[DummyEntry], list[CkpSet]]:
+        """Attach pending dummies and GC announcements to an outgoing
+        coherence message headed for ``dst`` (paper 4.2 local step 3)."""
+        dummies: list[DummyEntry] = []
+        if self.pending_dummies and self.policy.dummy_transport == "piggyback":
+            dummies, self.pending_dummies = self.pending_dummies, []
+            self._note_dummies_shipped(dummies, dst)
+        ckp_sets = self.pending_gc.pop(dst, [])
+        return dummies, ckp_sets
+
+    def _note_dummies_shipped(self, dummies: list[DummyEntry], dst: ProcessId) -> None:
+        """Update the P field of the matching local dependencies (the dummy
+        entry now lives in ``dst``)."""
+        self.metrics.dummies_shipped += len(dummies)
+        for dummy in dummies:
+            thread = self.process.threads.get(dummy.ep_acq.tid)
+            if thread is None:
+                continue
+            for i, dep in enumerate(thread.dep_set):
+                if dep.local and dep.obj_id == dummy.obj_id and dep.ep_acq == dummy.ep_acq:
+                    thread.dep_set[i] = dep.with_p_log(dst)
+                    break
+
+    def _ship_dummies_eagerly(self) -> None:
+        """Ablation A1: ship dummies in dedicated messages immediately."""
+        if not self.pending_dummies:
+            return
+        dst = self._some_peer()
+        if dst is None:
+            return
+        dummies, self.pending_dummies = self.pending_dummies, []
+        self._note_dummies_shipped(dummies, dst)
+        self.process.send_raw(
+            MessageKind.DUMMY_SHIP, dst, {}, dummies=dummies
+        )
+
+    def _some_peer(self) -> Optional[ProcessId]:
+        peers = [p for p in self.process.peer_pids() if p != self.pid]
+        return peers[0] if peers else None
+
+    def on_piggyback(self, src: ProcessId, dummies: list[DummyEntry], ckp_sets: list[CkpSet]) -> None:
+        """Incoming checkpoint information extracted from a message."""
+        for dummy in dummies:
+            self.dummy_log.store(dummy)
+            self.metrics.dummies_stored += 1
+        for ckp_set in ckp_sets:
+            self.apply_gc(ckp_set)
+
+    # ==================================================================
+    # checkpointing (paper 4.2 last paragraph) and GC (4.4)
+    # ==================================================================
+    def start_timer(self) -> None:
+        if self.policy.interval is None:
+            return
+        self._timer_event = self.process.kernel.schedule(
+            self.policy.interval, self._on_timer, label=f"ckpt-timer P{self.pid}"
+        )
+
+    def stop_timer(self) -> None:
+        if self._timer_event is not None:
+            self._timer_event.cancel()
+            self._timer_event = None
+
+    def _on_timer(self) -> None:
+        self._timer_event = None
+        if not self.process.alive:
+            return
+        self.take_checkpoint("periodic")
+        self.start_timer()
+
+    def take_checkpoint(self, trigger: str) -> Checkpoint:
+        """Checkpoint this process, independently of all others."""
+        kernel = self.process.kernel
+        self.ckpt_seq += 1
+        # completed_lt() excludes in-flight acquires (see Thread docs).
+        thread_lts = {tid: t.completed_lt() for tid, t in sorted(self.process.threads.items())}
+        checkpoint = Checkpoint(
+            pid=self.pid,
+            taken_at=kernel.now,
+            seq=self.ckpt_seq,
+            threads={tid: t.checkpoint_state() for tid, t in sorted(self.process.threads.items())},
+            objects=self.process.directory.snapshot(),
+            log_entries=self.log.snapshot(),
+            dummy_entries=self.dummy_log.snapshot(),
+            thread_lts=thread_lts,
+        )
+        checkpoint.compute_size()
+        if self.policy.incremental:
+            checkpoint.size = self._incremental_delta(checkpoint)
+        self.process.stable_store.save(checkpoint)
+        self.metrics.checkpoints.record(kernel.now, checkpoint.size, trigger)
+        kernel.trace.emit(kernel.now, "checkpoint",
+                          f"P{self.pid} checkpoint #{self.ckpt_seq} ({trigger})",
+                          bytes=checkpoint.size)
+
+        # -- local garbage collection (section 4.4) ----------------------
+        self.metrics.gc_log_entries_dropped += self.log.drop_old_unreferenced()
+        # Own dummies created before the checkpoint are garbage; pending
+        # (unshipped) ones are exactly those.
+        self.metrics.gc_dummies_dropped += len(self.pending_dummies)
+        self.pending_dummies.clear()
+        self.metrics.gc_depset_entries_dropped += gc_own_local_deps(
+            self.process.threads.values(), thread_lts
+        )
+
+        # -- CkpSet broadcast ---------------------------------------------
+        ckp_set = CkpSet(
+            pid=self.pid,
+            seq=self.ckpt_seq,
+            points=tuple(ExecutionPoint(tid, lt) for tid, lt in sorted(thread_lts.items())),
+        )
+        self.last_ckp_set = ckp_set
+        if self.policy.gc_transport == "eager":
+            for peer in self.process.peer_pids():
+                if peer != self.pid:
+                    self.process.send_raw(MessageKind.CKPT_GC, peer, {}, ckp_sets=[ckp_set])
+        else:
+            for peer in self.process.peer_pids():
+                if peer != self.pid:
+                    self.pending_gc.setdefault(peer, []).append(ckp_set)
+        return checkpoint
+
+    def _incremental_delta(self, checkpoint: Checkpoint) -> int:
+        """Bytes that changed since the previous checkpoint (extension A4).
+
+        The stable store keeps the materialized full image (as a real
+        implementation would via log-structured segments + compaction);
+        only the delta is *written*, which is the cost this models:
+        objects whose version/status changed, thread replay records
+        appended since the last checkpoint, and new log/dummy entries.
+        """
+        from repro.net.sizing import payload_size
+
+        objects_fp = {
+            oid: (snap["version"], snap["status"], snap["ep_dep"])
+            for oid, snap in checkpoint.objects.items()
+        }
+        records_fp = {tid: len(state["records"])
+                      for tid, state in checkpoint.threads.items()}
+        log_fp = {(e.obj_id, e.version) for e in checkpoint.log_entries}
+        dummy_fp = {(d.obj_id, d.ep_acq) for d in checkpoint.dummy_entries}
+
+        previous = self._ckpt_fingerprint
+        self._ckpt_fingerprint = {
+            "objects": objects_fp,
+            "records": records_fp,
+            "log": log_fp,
+            "dummies": dummy_fp,
+        }
+        if previous is None:
+            return checkpoint.full_size
+
+        delta = 64  # fixed header (timestamps, thread lts)
+        for oid, fp in objects_fp.items():
+            if previous["objects"].get(oid) != fp:
+                delta += payload_size(checkpoint.objects[oid])
+        for tid, state in checkpoint.threads.items():
+            new_records = state["records"][previous["records"].get(tid, 0):]
+            delta += payload_size(new_records) + 32
+        for entry in checkpoint.log_entries:
+            if (entry.obj_id, entry.version) not in previous["log"]:
+                delta += entry.size_bytes()
+        for dummy in checkpoint.dummy_entries:
+            if (dummy.obj_id, dummy.ep_acq) not in previous["dummies"]:
+                delta += dummy.size_bytes()
+        return min(delta, checkpoint.full_size)
+
+    def apply_gc(self, ckp_set: CkpSet) -> None:
+        """Receiver-side GC on a CkpSet announcement (section 4.4)."""
+        pairs, entries = gc_thread_sets(self.log, ckp_set)
+        self.metrics.gc_threadset_pairs_dropped += pairs
+        self.metrics.gc_log_entries_dropped += entries
+        self.metrics.gc_dummies_dropped += gc_dummy_log(self.dummy_log, ckp_set)
+        self.metrics.gc_depset_entries_dropped += gc_dep_sets(
+            self.process.threads.values(), ckp_set
+        )
+
+    # ==================================================================
+    # restore support (used by recovery)
+    # ==================================================================
+    def restore_from_checkpoint(self, checkpoint: Checkpoint) -> None:
+        self.log.restore(checkpoint.log_entries)
+        self.dummy_log.restore(checkpoint.dummy_entries)
+        self.pending_dummies.clear()
+        self.pending_gc.clear()
+        self.ckpt_seq = checkpoint.seq
+
+    def purge_stale(self, pid: ProcessId, resume_lts: dict[Tid, int]) -> None:
+        """RECOVERY_DONE from ``pid``: drop records of executions the
+        recovering process discarded (acquires beyond its replay prefix).
+
+        Without this, the re-executed thread's fresh acquires at the same
+        logical times would collide with stale threadSet pairs / stored
+        dummies left behind by the pre-crash execution.
+        """
+
+        def stale(point: ExecutionPoint) -> bool:
+            if point.tid.pid != pid:
+                return False
+            resume = resume_lts.get(point.tid)
+            return resume is not None and point.lt > resume
+
+        for entry in self.log:
+            entry.thread_set[:] = [p for p in entry.thread_set if not stale(p.ep_acq)]
+            if (
+                entry.next_owner == pid
+                and entry.next_owner_ep is not None
+                and stale(entry.next_owner_ep)
+            ):
+                # The write acquire that took ownership was discarded by
+                # the recovering process's rollback: reclaim ownership of
+                # the version we still hold in the log.
+                entry.next_owner = None
+                entry.next_owner_ep = None
+                self._reclaim_ownership(entry)
+                entry.copy_set_at_grant = None
+        self.log.drop_old_unreferenced()
+        stale_dummies = [d for d in self.dummy_log if stale(d.ep_acq)]
+        if stale_dummies:
+            survivors = [d for d in self.dummy_log if not stale(d.ep_acq)]
+            self.dummy_log.restore(survivors)
+
+    def _reclaim_ownership(self, entry: LogEntry) -> None:
+        """Become the owner of ``entry``'s object again after the granted
+        writer's recovery rolled back past its acquire."""
+        from repro.types import ObjectStatus
+
+        obj = self.process.directory.get(entry.obj_id)
+        last = self.log.last_entry(entry.obj_id)
+        if last is not entry:
+            return  # a newer local version supersedes this one
+        if obj.status is ObjectStatus.OWNED:
+            return
+        obj.status = ObjectStatus.OWNED
+        obj.prob_owner = self.pid
+        obj.version = entry.version
+        obj.data = entry.data_copy()
+        obj.copy_set = {
+            pair.ep_acq.tid.pid for pair in entry.thread_set
+        } - {self.pid}
+        if entry.copy_set_at_grant is not None:
+            obj.copy_set |= set(entry.copy_set_at_grant) - {self.pid}
+        self.process.kernel.trace.emit(
+            self.process.kernel.now, "recovery",
+            f"P{self.pid} reclaimed ownership of {entry.obj_id} v{entry.version}",
+        )
+        # Requests for the object may have queued while nobody owned it.
+        self.process.engine._process_queue(obj)

@@ -1,0 +1,194 @@
+"""Command-line interface.
+
+::
+
+    python -m repro list                          # what's available
+    python -m repro demo                          # crash+recovery demo
+    python -m repro workload sor --crash 1@40 --timeline
+    python -m repro workload synthetic --processes 8 --seed 3 --baseline coordinated
+    python -m repro experiments E2 E3 --full      # print experiment tables
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro import CheckpointPolicy, ClusterConfig, DisomSystem
+from repro.analysis.report import Table
+from repro.analysis.timeline import render_timeline
+from repro.baselines import (
+    CoordinatedProtocol,
+    JanssensFuchsProtocol,
+    NullProtocol,
+    ReceiverMessageLogging,
+    RichardSinghalProtocol,
+    SenderMessageLogging,
+    StummZhouProtocol,
+)
+from repro.experiments import ALL_EXPERIMENTS
+from repro.workloads import ALL_WORKLOADS
+
+BASELINES = {
+    "disom": lambda: None,
+    "none": NullProtocol.factory,
+    "richard-singhal": RichardSinghalProtocol.factory,
+    "stumm-zhou": StummZhouProtocol.factory,
+    "receiver-msg-log": ReceiverMessageLogging.factory,
+    "sender-msg-log": SenderMessageLogging.factory,
+    "janssens-fuchs": JanssensFuchsProtocol.factory,
+    "coordinated": CoordinatedProtocol.factory,
+}
+
+
+def _parse_crash(spec: str) -> tuple[int, float]:
+    try:
+        pid, when = spec.split("@", 1)
+        return int(pid), float(when)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"crash spec must look like PID@TIME, got {spec!r}"
+        ) from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DiSOM entry-consistency checkpoint protocol "
+                    "(PODC 1994) -- simulated cluster CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, baselines and experiments")
+
+    demo = sub.add_parser("demo", help="counter demo with crash + recovery")
+    demo.add_argument("--seed", type=int, default=42)
+
+    workload = sub.add_parser("workload", help="run one workload")
+    workload.add_argument("name", choices=sorted(ALL_WORKLOADS))
+    workload.add_argument("--processes", type=int, default=4)
+    workload.add_argument("--seed", type=int, default=7)
+    workload.add_argument("--interval", type=float, default=40.0,
+                          help="checkpoint interval (simulated time units)")
+    workload.add_argument("--baseline", choices=sorted(BASELINES),
+                          default="disom")
+    workload.add_argument("--crash", type=_parse_crash, action="append",
+                          default=[], metavar="PID@TIME")
+    workload.add_argument("--timeline", action="store_true",
+                          help="print the failure/recovery timeline")
+
+    experiments = sub.add_parser("experiments", help="run experiment tables")
+    experiments.add_argument("ids", nargs="*", help="experiment id prefixes")
+    experiments.add_argument("--full", action="store_true",
+                             help="wider parameter sweeps")
+    return parser
+
+
+def cmd_list() -> int:
+    table = Table("workloads", ["name", "parameters"])
+    for name in sorted(ALL_WORKLOADS):
+        params = ALL_WORKLOADS[name].default_params()
+        table.add_row(name, ", ".join(f"{k}={v}" for k, v in sorted(params.items())))
+    print(table.render())
+    print()
+    print("baselines:", ", ".join(sorted(BASELINES)))
+    print("experiments:", ", ".join(ALL_EXPERIMENTS))
+    return 0
+
+
+def cmd_demo(seed: int) -> int:
+    from repro import AcquireWrite, Compute, Program, Release
+
+    def body(ctx):
+        for _ in range(8):
+            value = yield AcquireWrite("counter")
+            yield Compute(1.0)
+            yield Release.of("counter", value + 1)
+            yield Compute(2.0)
+        return "done"
+
+    system = DisomSystem(
+        ClusterConfig(processes=4, seed=seed, trace=True),
+        CheckpointPolicy(interval=25.0),
+    )
+    system.add_object("counter", initial=0, home=0)
+    for pid in range(4):
+        system.spawn(pid, Program("inc", body, {}))
+    system.inject_crash(2, at_time=30.0)
+    result = system.run()
+    print(render_timeline(system.kernel.trace))
+    print()
+    print(f"counter = {result.final_objects['counter']} (expected 32); "
+          f"survivor rollbacks = {result.metrics.total_survivor_rollbacks}")
+    return 0 if result.final_objects["counter"] == 32 else 1
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    workload = ALL_WORKLOADS[args.name]()
+    factory = BASELINES[args.baseline]()
+    spare = max(2, len(args.crash) + 1)
+    system = DisomSystem(
+        ClusterConfig(processes=args.processes, seed=args.seed,
+                      spare_nodes=spare, trace=args.timeline),
+        CheckpointPolicy(interval=args.interval),
+        protocol_factory=factory,
+    )
+    workload.setup(system)
+    for pid, when in args.crash:
+        system.inject_crash(pid, at_time=when)
+    result = system.run()
+
+    if args.timeline:
+        print(render_timeline(system.kernel.trace))
+        print()
+    table = Table(f"{workload.describe()} on {args.baseline}",
+                  ["metric", "value"])
+    check = workload.verify(result) if result.completed else None
+    table.add_row("completed", result.completed)
+    table.add_row("aborted", result.aborted)
+    table.add_row("verified", check.ok if check else "-")
+    table.add_row("duration", round(result.duration, 1))
+    table.add_row("messages", result.net["total_messages"])
+    table.add_row("checkpoint messages", result.net["checkpoint_messages"])
+    table.add_row("log bytes", result.metrics.total_log_bytes)
+    table.add_row("checkpoints", result.metrics.total_checkpoints)
+    table.add_row("stable writes", result.stable_writes)
+    table.add_row("survivor rollbacks", result.metrics.total_survivor_rollbacks)
+    for record in result.recoveries:
+        table.add_row(
+            f"recovery P{record.pid}",
+            f"detected t={record.detected_at:.1f}, "
+            f"duration {record.duration:.1f}, "
+            f"replayed {record.replayed_acquires}"
+            if record.duration is not None else "incomplete",
+        )
+    if result.aborted:
+        table.add_row("abort reason", result.abort_reason)
+    print(table.render())
+    ok = result.completed and (check is None or check.ok)
+    return 0 if (ok or result.aborted) else 1
+
+
+def cmd_experiments(ids: list[str], full: bool) -> int:
+    from repro.experiments.runner import main as runner_main
+
+    argv = list(ids) + (["--full"] if full else [])
+    return runner_main(argv)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "demo":
+        return cmd_demo(args.seed)
+    if args.command == "workload":
+        return cmd_workload(args)
+    if args.command == "experiments":
+        return cmd_experiments(args.ids, args.full)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Configuration objects for a simulated DiSOM cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.net.channel import LatencyModel
+from repro.types import ProcessId
+
+
+@dataclass(frozen=True)
+class RecoveryTiming:
+    """Simulated costs of the recovery procedure.
+
+    ``load_base``/``load_per_byte``: reading the checkpoint from stable
+    storage into the free processor.  ``reissue_delay``: how long after
+    RECOVERY_DONE survivors wait before re-issuing possibly-lost acquire
+    requests (must exceed the maximum in-flight reply latency; see the
+    coherence engine's module docstring).
+    """
+
+    load_base: float = 10.0
+    load_per_byte: float = 0.00005
+    reissue_delay: float = 50.0
+
+    def load_time(self, checkpoint_bytes: int) -> float:
+        return self.load_base + self.load_per_byte * checkpoint_bytes
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """A scheduled fail-stop crash of one process."""
+
+    pid: ProcessId
+    at_time: float
+    #: If False, the system does not recover the process (used by tests
+    #: that examine the un-recovered state).
+    recover: bool = True
+
+    def __post_init__(self) -> None:
+        if self.at_time < 0:
+            raise ConfigError(f"crash time must be non-negative: {self}")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Static description of the simulated workstation cluster."""
+
+    processes: int = 4
+    seed: int = 0
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    #: Fail-stop detection latency: all survivors learn of a crash within
+    #: this bound (paper section 3).
+    detection_delay: float = 5.0
+    #: Free processors available to host recovering processes.
+    spare_nodes: int = 2
+    recovery: RecoveryTiming = field(default_factory=RecoveryTiming)
+    #: Writers wait for invalidation acks (strict CREW).  Ablation A3.
+    strict_invalidation_acks: bool = True
+    #: Hard horizon for a run; exceeding it raises SimulationError.
+    max_time: float = 1_000_000.0
+    #: Stable-storage write cost model.
+    stable_write_base: float = 5.0
+    stable_write_per_byte: float = 0.00005
+    #: Enable the structured trace log (tests use it; experiments mostly not).
+    trace: bool = False
+    trace_max_records: Optional[int] = 200_000
+
+    def __post_init__(self) -> None:
+        if self.processes < 1:
+            raise ConfigError(f"need at least one process, got {self.processes}")
+        if self.detection_delay < 0:
+            raise ConfigError("detection delay must be non-negative")
+        if self.spare_nodes < 0:
+            raise ConfigError("spare node count must be non-negative")
+        if self.max_time <= 0:
+            raise ConfigError("max_time must be positive")
+
+    def pids(self) -> list[ProcessId]:
+        return list(range(self.processes))

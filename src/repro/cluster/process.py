@@ -1,0 +1,254 @@
+"""A DiSOM process: one per simulated workstation (paper section 3).
+
+"Each process is viewed as a collection of resources, which provides an
+execution environment for multiple threads.  These resources include an
+address space, where a subset of the shared objects is mapped."
+
+The process composes the thread scheduler, the entry-consistency coherence
+engine and the checkpoint protocol, routes network messages between them,
+and implements the piggyback attachment point for checkpoint control
+information.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.analysis.metrics import ProcessMetrics
+from repro.checkpoint.policy import CheckpointPolicy
+from repro.checkpoint.protocol import DisomCheckpointProtocol
+from repro.checkpoint.stable import StableStore
+from repro.errors import ProtocolError
+from repro.memory.coherence import EntryConsistencyEngine
+from repro.memory.objects import ObjectDirectory, SharedObjectSpec
+from repro.net.message import Message, MessageKind, Piggyback
+from repro.net.network import Network
+from repro.sim.kernel import Kernel
+from repro.threads.program import Program
+from repro.threads.scheduler import ThreadScheduler
+from repro.threads.syscalls import Log, Release
+from repro.threads.thread import Thread
+from repro.types import ProcessId, Tid
+
+
+class DisomProcess:
+    """One DiSOM process with the full checkpoint protocol wired in."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        kernel: Kernel,
+        network: Network,
+        stable_store: StableStore,
+        system: Any,
+        checkpoint_policy: Optional[CheckpointPolicy] = None,
+        strict_invalidation_acks: bool = True,
+        protocol_factory: Optional[Any] = None,
+    ) -> None:
+        self.pid = pid
+        self.kernel = kernel
+        self.network = network
+        self.stable_store = stable_store
+        self.system = system
+        self.alive = True
+        self.metrics = ProcessMetrics()
+        self.directory = ObjectDirectory(pid)
+        self.threads: dict[Tid, Thread] = {}
+        self.scheduler = ThreadScheduler(kernel, self, name=f"P{pid}")
+        self.checkpoint_policy = checkpoint_policy or CheckpointPolicy()
+        if protocol_factory is None:
+            self.checkpoint_protocol = DisomCheckpointProtocol(self, self.checkpoint_policy)
+        else:
+            self.checkpoint_protocol = protocol_factory(self)
+        self.engine = EntryConsistencyEngine(
+            pid=pid,
+            kernel=kernel,
+            directory=self.directory,
+            scheduler=self.scheduler,
+            metrics=self.metrics,
+            send_message=self._send_coherence,
+            hooks=self.checkpoint_protocol,
+            strict_invalidation_acks=strict_invalidation_acks,
+        )
+        #: Set while this process is being recovered; owns replay routing.
+        self.recovery_manager: Optional[Any] = None
+        self.replayer: Optional[Any] = None
+        self._next_local_thread = 0
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def declare_object(self, spec: SharedObjectSpec) -> None:
+        obj = self.directory.declare(spec)
+        self.engine.hooks.on_object_created(obj, spec)
+
+    def spawn_thread(self, program: Program) -> Thread:
+        tid = Tid(self.pid, self._next_local_thread)
+        self._next_local_thread += 1
+        stream_name = f"thread/{tid.pid}.{tid.local}"
+        rng = self.kernel.rng
+
+        def rng_factory(fresh: bool):
+            if fresh:
+                return rng.fresh_stream(stream_name)
+            return rng.stream(stream_name)
+
+        thread = Thread(tid, program, rng_factory)
+        self.threads[tid] = thread
+        self.scheduler.add(thread)
+        return thread
+
+    def start(self) -> None:
+        """Begin executing threads (the protocol may take an initial
+        checkpoint and arm its timers in ``on_start``)."""
+        self.checkpoint_protocol.on_start()
+        self.scheduler.start_all()
+
+    def peer_pids(self) -> list[ProcessId]:
+        return self.system.all_pids()
+
+    # ------------------------------------------------------------------
+    # SyscallHandler interface (driven by the ThreadScheduler)
+    # ------------------------------------------------------------------
+    def handle_acquire(self, thread: Thread, syscall: Any) -> None:
+        if not self.alive:
+            return
+        if self.replayer is not None and self.replayer.wants(thread):
+            self.replayer.handle_acquire(thread, syscall)
+        else:
+            self.engine.handle_acquire(thread, syscall)
+            if self.replayer is not None:
+                # The thread may just have parked at the end-of-recovery
+                # gate; that can complete the replay phase.
+                self.replayer.after_event()
+
+    def handle_release(self, thread: Thread, syscall: Release) -> None:
+        if not self.alive:
+            return
+        self.engine.handle_release(thread, syscall)
+        if self.replayer is not None:
+            self.replayer.note_release(thread, syscall.obj_id)
+            self.replayer.after_event()
+
+    def handle_log(self, thread: Thread, syscall: Log) -> None:
+        self.kernel.trace.emit(
+            self.kernel.now, "app", f"{thread.tid}: {syscall.message}", **syscall.fields
+        )
+        self.scheduler.complete(thread, None)
+
+    def on_thread_done(self, thread: Thread) -> None:
+        self.kernel.trace.emit(self.kernel.now, "thread", f"{thread.tid} finished")
+        if self.replayer is not None:
+            self.replayer.after_event()
+        self.system.note_thread_event()
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+    def _send_coherence(
+        self,
+        kind: MessageKind,
+        dst: ProcessId,
+        payload: dict,
+        control: Optional[dict],
+    ) -> None:
+        """Send a coherence message, attaching pending checkpoint piggyback."""
+        dummies, ckp_sets = self.checkpoint_protocol.collect_piggyback(dst)
+        piggyback = Piggyback(control=control or {}, dummies=dummies, ckp_sets=ckp_sets)
+        message = Message(self.pid, dst, kind, payload, piggyback)
+        self.network.send(message)
+        self.checkpoint_protocol.on_message_sent(message)
+
+    def send_raw(
+        self,
+        kind: MessageKind,
+        dst: ProcessId,
+        payload: dict,
+        control: Optional[dict] = None,
+        dummies: Optional[list] = None,
+        ckp_sets: Optional[list] = None,
+    ) -> None:
+        """Send a non-coherence message (recovery layer, eager transports)."""
+        piggyback = None
+        if control or dummies or ckp_sets:
+            piggyback = Piggyback(
+                control=control or {},
+                dummies=dummies or [],
+                ckp_sets=ckp_sets or [],
+            )
+        message = Message(self.pid, dst, kind, payload, piggyback)
+        self.network.send(message)
+        self.checkpoint_protocol.on_message_sent(message)
+
+    def deliver(self, message: Message) -> None:
+        """Network entry point for this process."""
+        if not self.alive:
+            return
+        if not self.checkpoint_protocol.filter_incoming(message):
+            return
+        # Checkpoint piggyback is consumed on arrival even when the
+        # coherence payload is buffered (recovery): shipped dummy entries
+        # must never be dropped.  While our own checkpoint is still being
+        # loaded the application is deferred (the restore would clobber
+        # the dummy log), but never dropped.
+        if message.piggyback is not None:
+            if message.piggyback.dummies or message.piggyback.ckp_sets:
+                manager = self.recovery_manager
+                if manager is not None and manager.phase == "loading":
+                    manager.defer_piggyback(
+                        message.src, message.piggyback.dummies, message.piggyback.ckp_sets
+                    )
+                else:
+                    self.checkpoint_protocol.on_piggyback(
+                        message.src, message.piggyback.dummies, message.piggyback.ckp_sets
+                    )
+        kind = message.kind
+        if kind in (
+            MessageKind.ACQUIRE_REQUEST,
+            MessageKind.ACQUIRE_REPLY,
+            MessageKind.INVALIDATE,
+            MessageKind.INVALIDATE_ACK,
+        ):
+            self.engine.on_message(message)
+        elif kind is MessageKind.DUMMY_SHIP:
+            pass  # contents were in the piggyback, already consumed
+        elif kind is MessageKind.CKPT_GC:
+            pass  # contents were in the piggyback, already consumed
+        elif kind is MessageKind.RECOVERY_REQUEST:
+            self.system.on_recovery_request(self, message)
+        elif kind is MessageKind.RECOVERY_REPLY:
+            if self.recovery_manager is not None:
+                self.recovery_manager.on_reply(message)
+        elif kind is MessageKind.RECOVERY_DONE:
+            self.system.on_recovery_done(self, message)
+        elif kind is MessageKind.ABORT:
+            self.system.abort(message.payload.get("reason", "aborted"), from_pid=message.src)
+        elif self.checkpoint_protocol.handles_kind(kind):
+            self.checkpoint_protocol.on_protocol_message(message)
+        else:
+            raise ProtocolError(f"P{self.pid}: unhandled message {message}")
+
+    # ------------------------------------------------------------------
+    # failure
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Fail-stop halt: volatile state is lost, timers die."""
+        self.alive = False
+        self.scheduler.kill()
+        self.checkpoint_protocol.stop_timer()
+        self.network.mark_crashed(self.pid)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def all_threads_done(self) -> bool:
+        return all(t.done for t in self.threads.values())
+
+    def owned_objects(self) -> list[str]:
+        from repro.types import ObjectStatus
+
+        return [obj.obj_id for obj in self.directory if obj.status is ObjectStatus.OWNED]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self.alive else "crashed"
+        return f"DisomProcess(P{self.pid}, {state}, threads={len(self.threads)})"

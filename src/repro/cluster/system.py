@@ -1,0 +1,534 @@
+"""Whole-cluster orchestration: the public entry point of the library.
+
+:class:`DisomSystem` builds the kernel, network, stable storage and one
+DiSOM process per simulated workstation; declares shared objects; spawns
+threads; injects fail-stop crashes; and drives runs to completion,
+including detection and recovery of failed processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.analysis.metrics import ProcessMetrics, SystemMetrics
+from repro.checkpoint.policy import CheckpointPolicy
+from repro.checkpoint.recovery import RecoveryManager, collect_recovery_data
+from repro.checkpoint.stable import StableStore
+from repro.cluster.config import ClusterConfig, CrashPlan
+from repro.cluster.process import DisomProcess
+from repro.cluster.shadow import ShadowSnapshot
+from repro.errors import (
+    ConfigError,
+    ProtocolError,
+    RecoveryError,
+    SimulationError,
+)
+from repro.failure.detector import FailureDetector
+from repro.failure.injector import CrashInjector
+from repro.memory.objects import SharedObjectSpec
+from repro.net.message import Message, MessageKind
+from repro.net.network import Network
+from repro.sim.kernel import Kernel
+from repro.sim.tracing import TraceLog
+from repro.threads.program import Program
+from repro.types import ObjectId, ObjectStatus, ProcessId, Tid
+
+
+@dataclass
+class RecoveryRecord:
+    """One completed (or aborted) recovery, for the experiment reports."""
+
+    pid: ProcessId
+    crashed_at: float
+    detected_at: float
+    finished_at: Optional[float] = None
+    replayed_acquires: int = 0
+    truncated: bool = False
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.detected_at
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :meth:`DisomSystem.run`."""
+
+    completed: bool
+    aborted: bool
+    abort_reason: Optional[str]
+    duration: float
+    final_objects: dict[ObjectId, Any]
+    thread_results: dict[Tid, Any]
+    metrics: SystemMetrics
+    net: dict[str, Any]
+    stable_writes: int
+    stable_bytes: int
+    recoveries: list[RecoveryRecord]
+    shadows: dict[ProcessId, ShadowSnapshot] = field(default_factory=dict)
+    invariant_violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.completed and not self.aborted and not self.invariant_violations
+
+
+class DisomSystem:
+    """A simulated DiSOM cluster running the paper's checkpoint protocol."""
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        checkpoint: Optional[CheckpointPolicy] = None,
+        protocol_factory: Optional[Any] = None,
+    ) -> None:
+        """``protocol_factory`` selects the fault-tolerance scheme: None
+        runs the paper's DiSOM checkpoint protocol; baselines pass e.g.
+        ``NullProtocol.factory()`` (see :mod:`repro.baselines`)."""
+        self.config = config or ClusterConfig()
+        self.checkpoint_policy = checkpoint or CheckpointPolicy()
+        self.protocol_factory = protocol_factory
+        trace = TraceLog(
+            enabled=self.config.trace,
+            max_records=self.config.trace_max_records,
+        )
+        self.kernel = Kernel(seed=self.config.seed, trace=trace)
+        self.network = Network(self.kernel, latency=self.config.latency)
+        self.stable_store = StableStore(
+            write_base_time=self.config.stable_write_base,
+            write_per_byte=self.config.stable_write_per_byte,
+        )
+        self.detector = FailureDetector(self.kernel, self.config.detection_delay)
+        self.detector.subscribe(self._on_crash_detected)
+        self.injector = CrashInjector(self.kernel, self._execute_crash)
+
+        self.processes: dict[ProcessId, DisomProcess] = {}
+        self.object_specs: list[SharedObjectSpec] = []
+        self._spawn_records: dict[ProcessId, list[Program]] = {}
+        self._crash_plans: dict[ProcessId, CrashPlan] = {}
+        self._spares_left = self.config.spare_nodes
+        self._started = False
+        self.aborted = False
+        self.abort_reason: Optional[str] = None
+        self.shadows: dict[ProcessId, ShadowSnapshot] = {}
+        self.recovery_records: list[RecoveryRecord] = []
+        self.metrics_history: list[tuple[ProcessId, ProcessMetrics]] = []
+        #: Cluster-wide grant-once registry (see try_claim_grant).
+        self._granted_eps: dict[Any, ProcessId] = {}
+        #: Final-execution acquire history: tid -> {lt: (obj, version, type)}.
+        self._acquire_history: dict[Tid, dict[int, tuple]] = {}
+
+        for pid in self.config.pids():
+            self._create_process(pid)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _create_process(self, pid: ProcessId) -> DisomProcess:
+        process = DisomProcess(
+            pid=pid,
+            kernel=self.kernel,
+            network=self.network,
+            stable_store=self.stable_store,
+            system=self,
+            checkpoint_policy=self.checkpoint_policy,
+            strict_invalidation_acks=self.config.strict_invalidation_acks,
+            protocol_factory=self.protocol_factory,
+        )
+        self.processes[pid] = process
+        process.engine.grant_gate = self.try_claim_grant
+        process.engine.acquire_observer = self._note_acquire
+        self.network.register(pid, process)
+        return process
+
+    def _note_acquire(self, tid: Tid, lt: int, obj_id: ObjectId,
+                      version: int, acq_type: Any) -> None:
+        """Record a completed acquire, keyed by execution point.
+
+        A re-executed acquire (recovery) overwrites its rolled-back
+        ancestor, so at quiescence this is the acquire history of the
+        *final* execution -- directly checkable against the paper's
+        section-3.1 consistency definition (see consistency_history()).
+        """
+        self._acquire_history.setdefault(tid, {})[lt] = (obj_id, version,
+                                                         acq_type)
+
+    def consistency_history(self):
+        """The final execution as an abstract history plus its full cut.
+
+        Returns ``(history, cut)`` for
+        :func:`repro.memory.consistency.check_consistency` -- the direct
+        bridge between the simulator and the paper's figure-1 definition.
+        """
+        from repro.memory.consistency import AbstractAcquire, Cut, History
+
+        history = History()
+        positions = {}
+        for tid in sorted(self._acquire_history):
+            name = str(tid)
+            for lt in sorted(self._acquire_history[tid]):
+                obj_id, version, acq_type = self._acquire_history[tid][lt]
+                history.add(name, AbstractAcquire(obj_id, version, acq_type))
+            positions[name] = len(self._acquire_history[tid])
+        return history, Cut(positions)
+
+    def try_claim_grant(self, ep: "ExecutionPoint", granting_pid: ProcessId) -> bool:
+        """Cluster-wide at-most-one-grant guard per acquire execution point.
+
+        Stands in for the coherence-level duplicate detection the paper
+        assumes ("duplicate requests are detected and discarded by the
+        memory coherence protocol"): a re-issued request that roams to a
+        *different* owner after the original was already granted must not
+        be granted a second time.  Purged for rolled-back executions by
+        :meth:`purge_granted`.
+        """
+        if ep in self._granted_eps:
+            return False
+        self._granted_eps[ep] = granting_pid
+        return True
+
+    def purge_granted(self, pid: ProcessId, resume_lts: dict) -> None:
+        """Forget grants for acquires a recovery rolled back: the
+        re-executed thread will acquire at the same logical times afresh."""
+        for ep in list(self._granted_eps):
+            if ep.tid.pid != pid:
+                continue
+            resume = resume_lts.get(ep.tid)
+            if resume is not None and ep.lt > resume:
+                del self._granted_eps[ep]
+        # The acquire history of the discarded suffix is equally void; the
+        # re-execution may take a different (shorter) path and would leave
+        # ghosts behind otherwise.
+        for tid, by_lt in self._acquire_history.items():
+            if tid.pid != pid:
+                continue
+            resume = resume_lts.get(tid)
+            if resume is None:
+                continue
+            for lt in [lt for lt in by_lt if lt > resume]:
+                del by_lt[lt]
+
+    def all_pids(self) -> list[ProcessId]:
+        return self.config.pids()
+
+    # ------------------------------------------------------------------
+    # application setup
+    # ------------------------------------------------------------------
+    def add_object(self, obj_id: ObjectId, initial: Any = None, home: ProcessId = 0) -> None:
+        """Declare a shared object with its initial value and home process."""
+        if self._started:
+            raise ConfigError("objects must be declared before run()")
+        if home not in self.processes:
+            raise ConfigError(f"unknown home process {home} for object {obj_id!r}")
+        spec = SharedObjectSpec(obj_id=obj_id, initial=initial, home=home)
+        self.object_specs.append(spec)
+        for process in self.processes.values():
+            process.declare_object(spec)
+
+    def spawn(self, pid: ProcessId, program: Program) -> Tid:
+        """Spawn a thread running ``program`` on process ``pid``."""
+        if self._started:
+            raise ConfigError("threads must be spawned before run()")
+        if pid not in self.processes:
+            raise ConfigError(f"unknown process {pid}")
+        thread = self.processes[pid].spawn_thread(program)
+        self._spawn_records.setdefault(pid, []).append(program)
+        return thread.tid
+
+    def inject_crash(self, pid: ProcessId, at_time: float, recover: bool = True) -> None:
+        """Schedule a fail-stop crash of process ``pid``."""
+        if pid not in self.processes:
+            raise ConfigError(f"unknown process {pid}")
+        plan = CrashPlan(pid=pid, at_time=at_time, recover=recover)
+        self._crash_plans[pid] = plan
+        self.injector.schedule([plan])
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> RunResult:
+        """Run the cluster.
+
+        Without ``until``, runs to application completion (or abort) and
+        raises :class:`SimulationError` if the horizon is hit first.  With
+        ``until``, stops at that simulated time and returns the partial
+        state without raising.
+        """
+        if not self._started:
+            self._started = True
+            for pid in sorted(self.processes):
+                self.processes[pid].start()
+        horizon = until if until is not None else self.config.max_time
+        self.kernel.run(until=horizon)
+        completed = self.kernel.stop_reason == "completed"
+        if self.aborted:
+            completed = False
+        if until is None and not completed and not self.aborted:
+            blocked = self._describe_blocked()
+            raise SimulationError(
+                f"run did not complete by t={horizon}: {blocked}"
+            )
+        return self._build_result(completed)
+
+    def _describe_blocked(self) -> str:
+        parts = []
+        for pid in sorted(self.processes):
+            process = self.processes[pid]
+            for thread in process.scheduler.unfinished():
+                parts.append(f"{thread.tid}[{thread.state.value} {thread.wait_obj}]")
+        return "; ".join(parts) if parts else "no unfinished threads (internal stall)"
+
+    # ------------------------------------------------------------------
+    # completion / result
+    # ------------------------------------------------------------------
+    def note_thread_event(self) -> None:
+        self._check_completion()
+
+    def note_recovery_complete(self, pid: ProcessId) -> None:
+        for record in self.recovery_records:
+            if record.pid == pid and record.finished_at is None:
+                record.finished_at = self.kernel.now
+                record.replayed_acquires = self.processes[pid].metrics.replayed_acquires
+        self._check_completion()
+
+    def _check_completion(self) -> None:
+        if self.aborted:
+            return
+        for process in self.processes.values():
+            if not process.alive:
+                return
+            if process.recovery_manager is not None:
+                return
+            if not process.all_threads_done():
+                return
+        self.kernel.stop("completed")
+
+    def abort(self, reason: str, from_pid: ProcessId, broadcast: bool = False) -> None:
+        """Abort the application (Theorem 2's 'aborted' outcome)."""
+        if self.aborted:
+            return
+        self.aborted = True
+        self.abort_reason = reason
+        self.kernel.trace.emit(self.kernel.now, "abort", reason, pid=from_pid)
+        if broadcast:
+            origin = self.processes.get(from_pid)
+            if origin is not None and origin.alive:
+                for peer in self.all_pids():
+                    if peer != from_pid:
+                        origin.send_raw(MessageKind.ABORT, peer, {"reason": reason})
+        self.kernel.stop("aborted")
+
+    def _build_result(self, completed: bool) -> RunResult:
+        metrics = SystemMetrics(
+            per_process={pid: p.metrics for pid, p in self.processes.items()}
+        )
+        thread_results: dict[Tid, Any] = {}
+        for process in self.processes.values():
+            for tid, thread in process.threads.items():
+                if thread.done:
+                    thread_results[tid] = thread.result
+        violations: list[str] = []
+        final_objects: dict[ObjectId, Any] = {}
+        if completed and not self.aborted:
+            violations = self.check_invariants()
+            final_objects = self.gather_final_objects()
+        return RunResult(
+            completed=completed,
+            aborted=self.aborted,
+            abort_reason=self.abort_reason,
+            duration=self.kernel.now,
+            final_objects=final_objects,
+            thread_results=thread_results,
+            metrics=metrics,
+            net=self.network.stats.as_dict(),
+            stable_writes=self.stable_store.writes(),
+            stable_bytes=self.stable_store.bytes_written(),
+            recoveries=list(self.recovery_records),
+            shadows=dict(self.shadows),
+            invariant_violations=violations,
+        )
+
+    def gather_final_objects(self) -> dict[ObjectId, Any]:
+        """Current value of every shared object, read at its owner."""
+        values: dict[ObjectId, Any] = {}
+        for spec in self.object_specs:
+            owner = self._find_owner(spec.obj_id)
+            if owner is not None:
+                values[spec.obj_id] = owner.directory.get(spec.obj_id).data
+        return values
+
+    def _find_owner(self, obj_id: ObjectId) -> Optional[DisomProcess]:
+        owners = [
+            p for p in self.processes.values()
+            if p.alive and p.directory.get(obj_id).status is ObjectStatus.OWNED
+        ]
+        if len(owners) > 1:
+            raise ProtocolError(
+                f"object {obj_id!r} has {len(owners)} owners: "
+                f"{[p.pid for p in owners]}"
+            )
+        return owners[0] if owners else None
+
+    def check_invariants(self) -> list[str]:
+        """Coherence invariants expected to hold at quiescence."""
+        violations: list[str] = []
+        for spec in self.object_specs:
+            obj_id = spec.obj_id
+            try:
+                owner = self._find_owner(obj_id)
+            except ProtocolError as exc:
+                violations.append(str(exc))
+                continue
+            if owner is None:
+                violations.append(f"object {obj_id!r} has no owner")
+                continue
+            owner_obj = owner.directory.get(obj_id)
+            for process in self.processes.values():
+                if not process.alive or process.pid == owner.pid:
+                    continue
+                obj = process.directory.get(obj_id)
+                if obj.status is ObjectStatus.READ:
+                    if process.pid not in owner_obj.copy_set:
+                        violations.append(
+                            f"{obj_id!r}: P{process.pid} holds a read copy "
+                            f"missing from owner P{owner.pid}'s copySet"
+                        )
+                    if obj.version != owner_obj.version:
+                        violations.append(
+                            f"{obj_id!r}: read copy at P{process.pid} has "
+                            f"v{obj.version}, owner has v{owner_obj.version}"
+                        )
+                if obj.version > owner_obj.version:
+                    violations.append(
+                        f"{obj_id!r}: P{process.pid} has v{obj.version} newer "
+                        f"than owner's v{owner_obj.version}"
+                    )
+        return violations
+
+    # ------------------------------------------------------------------
+    # crash / recovery orchestration
+    # ------------------------------------------------------------------
+    def crash_now(self, pid: ProcessId, recover: bool = True) -> None:
+        """Immediately crash ``pid`` (dynamic variant of inject_crash)."""
+        self._execute_crash(CrashPlan(pid=pid, at_time=self.kernel.now, recover=recover))
+
+    def _execute_crash(self, plan: CrashPlan) -> None:
+        process = self.processes.get(plan.pid)
+        if process is None or not process.alive:
+            return
+        self._crash_plans[plan.pid] = plan
+        self.shadows[plan.pid] = ShadowSnapshot.capture(process, self.kernel.now)
+        self.metrics_history.append((plan.pid, process.metrics))
+        self.kernel.trace.emit(self.kernel.now, "failure", f"P{plan.pid} crashed")
+        process.crash()
+        self.detector.report_crash(plan.pid)
+        self.recovery_records.append(
+            RecoveryRecord(pid=plan.pid, crashed_at=self.kernel.now,
+                           detected_at=-1.0)
+        )
+
+    def _on_crash_detected(self, pid: ProcessId) -> None:
+        for record in self.recovery_records:
+            if record.pid == pid and record.detected_at < 0:
+                record.detected_at = self.kernel.now
+        for process in self.processes.values():
+            if process.alive and process.pid != pid:
+                process.engine.note_crashed(pid)
+        plan = self._crash_plans.get(pid)
+        if plan is not None and not plan.recover:
+            return
+        protocol = self.processes[pid].checkpoint_protocol
+        if not protocol.supports_recovery:
+            self.abort(
+                f"process {pid} crashed and scheme '{protocol.name}' "
+                "cannot recover it",
+                from_pid=pid,
+            )
+            return
+        recover = getattr(type(protocol), "recover_crashed", None)
+        if recover is not None:
+            recover(self, pid)
+        else:
+            self._start_recovery(pid)
+
+    def _start_recovery(self, pid: ProcessId) -> None:
+        if self._spares_left <= 0:
+            raise RecoveryError(
+                f"no free processor available to recover P{pid} "
+                f"(spare_nodes={self.config.spare_nodes})"
+            )
+        if not self.stable_store.has_checkpoint(pid):
+            raise RecoveryError(f"no checkpoint in stable storage for P{pid}")
+        self._spares_left -= 1
+        # "The first step to recover a process is to get its most recent
+        # checkpoint and reload it in a free processor."
+        process = self._create_process(pid)
+        for spec in self.object_specs:
+            process.declare_object(spec)
+        for program in self._spawn_records.get(pid, []):
+            process.spawn_thread(program)
+        self.network.mark_recovered(pid, process)
+        checkpoint = self.stable_store.load(pid)
+        manager = RecoveryManager(
+            process=process,
+            checkpoint=checkpoint,
+            timing=self.config.recovery,
+            detected_at=self.kernel.now,
+        )
+        process.recovery_manager = manager
+        manager.start()
+        # Other in-flight recoveries sent their request while this process
+        # was dark; re-send so it can answer from its checkpoint.
+        for other in self.processes.values():
+            other_mgr = other.recovery_manager
+            if other.pid != pid and other_mgr is not None and other_mgr.ckp_set is not None:
+                other_mgr.send_request_to(pid)
+
+    # ------------------------------------------------------------------
+    # message routing helpers (called by DisomProcess.deliver)
+    # ------------------------------------------------------------------
+    def on_recovery_request(self, process: DisomProcess, message: Message) -> None:
+        if process.recovery_manager is not None:
+            process.recovery_manager.on_peer_request(message)
+            return
+        data = collect_recovery_data(
+            from_pid=process.pid,
+            log_entries=list(process.checkpoint_protocol.log),
+            dummy_entries=list(process.checkpoint_protocol.dummy_log),
+            dep_sets={tid: t.dep_set for tid, t in process.threads.items()},
+            failed_pid=message.payload["failed_pid"],
+            ckp_set=message.payload["ckp_set"],
+        )
+        process.send_raw(MessageKind.RECOVERY_REPLY, message.src, {"data": data})
+
+    def on_recovery_done(self, process: DisomProcess, message: Message) -> None:
+        if process.recovery_manager is not None:
+            # Still recovering ourselves: apply the purge once our own
+            # restore/replay is finished (it operates on the live log).
+            process.recovery_manager.defer_done(message)
+            return
+        self.apply_recovery_done(process, message.src, message.payload["resume_lts"])
+
+    def apply_recovery_done(self, process: DisomProcess, src: ProcessId,
+                            resume_lts: dict) -> None:
+        process.engine.note_recovered(src, resume_lts)
+        process.checkpoint_protocol.purge_stale(src, resume_lts)
+        self.schedule_reissue(process)
+
+    def schedule_reissue(self, process: DisomProcess) -> None:
+        """Periodically re-issue possibly-lost acquire requests until no
+        thread of ``process`` is blocked (duplicates are deduplicated at
+        the owner, so retrying is safe)."""
+        delay = self.config.recovery.reissue_delay
+
+        def _tick() -> None:
+            if not process.alive or self.aborted:
+                return
+            process.engine.reissue_pending()
+            if any(t.wait_obj is not None for t in process.threads.values()):
+                self.kernel.schedule(delay, _tick, label=f"reissue P{process.pid}")
+
+        self.kernel.schedule(delay, _tick, label=f"reissue P{process.pid}")

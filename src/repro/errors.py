@@ -1,0 +1,89 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """Raised when a configuration object is invalid or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event kernel detects an internal problem."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the simulation can make no further progress.
+
+    The kernel raises this when every live thread is blocked, no events are
+    pending and at least one thread has not finished.  This usually means the
+    workload has a genuine synchronization bug (e.g. acquiring an object that
+    is never released) or the protocol under test lost a wake-up.
+    """
+
+
+class ProtocolError(ReproError):
+    """Raised when a coherence or checkpoint protocol invariant is violated.
+
+    These indicate bugs in a protocol implementation (ours or a baseline),
+    never user errors: e.g. a release without a matching acquire reaching the
+    coherence engine, or a duplicate ownership transfer.
+    """
+
+
+class MemoryModelError(ReproError):
+    """Raised when an application program violates the entry-consistency contract.
+
+    Entry consistency is a contract between the program and the system
+    (paper section 3.1): all accesses to a shared object must be bracketed by
+    acquire/release on its synchronization object.  Violations -- releasing an
+    object the thread does not hold, writing under a read acquire, nested
+    acquires of the same object -- raise this error.
+    """
+
+
+class ApplicationAborted(ReproError):
+    """Raised when the multiple-failure detector aborts the application.
+
+    Paper section 4.5 / Theorem 2: after multiple node failures the system is
+    either brought to a consistent state or the application is aborted.  This
+    exception is the "aborted" outcome.  It carries the reason so that
+    experiments can report the conservative-abort rate.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class InconsistentStateError(ReproError):
+    """Raised when the consistency checker finds an inconsistent system state.
+
+    A system state is consistent iff all threads holding objects hold the last
+    (non-lost) versions of those objects and no thread has acquired a version
+    lost to a failure (paper section 3.1).  This error indicates the checked
+    state violates that definition; in tests it means a protocol bug.
+    """
+
+
+class RecoveryError(ReproError):
+    """Raised when the recovery procedure cannot complete.
+
+    Distinct from :class:`ApplicationAborted`: an abort is the protocol's
+    *designed* response to unrecoverable multiple failures, while a
+    ``RecoveryError`` means the recovery machinery itself failed (e.g. no
+    checkpoint exists for the crashed process, or no free processor is
+    available to host the recovering process).
+    """
+
+
+class CrashedProcessError(ReproError):
+    """Raised when an operation targets a process that has crashed."""

@@ -1,0 +1,42 @@
+"""Experiment harness: one module per experiment id of DESIGN.md section 5.
+
+Each experiment function returns an :class:`ExperimentResult` whose table
+is exactly what the corresponding benchmark prints and what EXPERIMENTS.md
+records.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.claims import (
+    run_coordination_overhead,
+    run_dummy_log,
+    run_gc,
+    run_log_overhead,
+    run_no_extra_messages,
+    run_no_rollback,
+    run_recovery_time,
+)
+from repro.experiments.interference import run_interference
+from repro.experiments.scalability import run_scalability
+from repro.experiments.theorems import run_theorem1, run_theorem2
+
+ALL_EXPERIMENTS = {
+    "E1-figure1": run_figure1,
+    "E2-no-extra-messages": run_no_extra_messages,
+    "E3-log-overhead": run_log_overhead,
+    "E4-coordination": run_coordination_overhead,
+    "E5-no-rollback": run_no_rollback,
+    "E6-theorem1": run_theorem1,
+    "E7-theorem2": run_theorem2,
+    "E8-recovery-time": run_recovery_time,
+    "E9-gc": run_gc,
+    "E10-dummy-log": run_dummy_log,
+    "E11-scalability": run_scalability,
+    "E12-interference": run_interference,
+}
+
+__all__ = ["ALL_EXPERIMENTS", "ExperimentResult", "run_figure1",
+           "run_no_extra_messages", "run_log_overhead",
+           "run_coordination_overhead", "run_no_rollback", "run_theorem1",
+           "run_theorem2", "run_recovery_time", "run_gc", "run_dummy_log",
+           "run_scalability"]

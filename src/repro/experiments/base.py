@@ -1,0 +1,58 @@
+"""Common experiment plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.analysis.report import Table
+from repro.checkpoint.policy import CheckpointPolicy
+from repro.cluster.config import ClusterConfig
+from repro.cluster.system import DisomSystem, RunResult
+from repro.workloads.base import Workload
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's outcome: tables plus machine-readable findings."""
+
+    experiment_id: str
+    title: str
+    tables: list[Table] = field(default_factory=list)
+    findings: dict[str, Any] = field(default_factory=dict)
+    #: True when the paper's claim held in this run (shape, not numbers).
+    claim_holds: Optional[bool] = None
+
+    def render(self) -> str:
+        head = f"### {self.experiment_id}: {self.title}"
+        body = "\n\n".join(t.render() for t in self.tables)
+        verdict = ""
+        if self.claim_holds is not None:
+            verdict = f"\nclaim holds: {'YES' if self.claim_holds else 'NO'}"
+        return f"{head}\n{body}{verdict}"
+
+
+def run_workload(
+    workload: Workload,
+    processes: int = 4,
+    seed: int = 7,
+    interval: Optional[float] = 50.0,
+    highwater: Optional[int] = None,
+    crashes: tuple = (),
+    protocol_factory=None,
+    spare_nodes: int = 4,
+    gc_transport: str = "piggyback",
+    dummy_transport: str = "piggyback",
+) -> tuple[DisomSystem, RunResult]:
+    """Build, run and return one configured cluster execution."""
+    system = DisomSystem(
+        ClusterConfig(processes=processes, seed=seed, spare_nodes=spare_nodes),
+        CheckpointPolicy(interval=interval, log_highwater=highwater,
+                         gc_transport=gc_transport,
+                         dummy_transport=dummy_transport),
+        protocol_factory=protocol_factory,
+    )
+    workload.setup(system)
+    for pid, when in crashes:
+        system.inject_crash(pid, at_time=when)
+    return system, system.run()

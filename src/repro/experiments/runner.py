@@ -1,0 +1,38 @@
+"""Run every experiment and print its tables.
+
+Usage::
+
+    python -m repro.experiments.runner            # quick versions
+    python -m repro.experiments.runner --full     # wider sweeps
+    python -m repro.experiments.runner E3 E8      # a subset
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str]) -> int:
+    quick = "--full" not in argv
+    wanted = [a for a in argv if not a.startswith("-")]
+    failures = 0
+    for exp_id, runner in ALL_EXPERIMENTS.items():
+        if wanted and not any(exp_id.startswith(w) for w in wanted):
+            continue
+        try:
+            result = runner(quick=quick) if "quick" in runner.__code__.co_varnames else runner()
+        except Exception as exc:  # pragma: no cover - surfaced to the CLI
+            print(f"### {exp_id}: FAILED with {type(exc).__name__}: {exc}")
+            failures += 1
+            continue
+        print(result.render())
+        print()
+        if result.claim_holds is False:
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main(sys.argv[1:]))

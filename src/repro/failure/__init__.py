@@ -1,0 +1,6 @@
+"""Fail-stop failure model: crash injection and bounded-delay detection."""
+
+from repro.failure.detector import FailureDetector
+from repro.failure.injector import CrashInjector
+
+__all__ = ["CrashInjector", "FailureDetector"]

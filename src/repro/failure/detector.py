@@ -1,0 +1,40 @@
+"""Bounded-delay fail-stop failure detector (paper section 3).
+
+"We consider a fail-stop model, where a processor fails by halting and all
+surviving processors detect the node failure within bounded time."  The
+detector is a system-level service: when a crash occurs it schedules a
+single detection event ``detection_delay`` later, at which point every
+survivor (and the recovery orchestrator) is notified.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.kernel import Kernel
+from repro.types import ProcessId
+
+
+class FailureDetector:
+    """Announces crashes to subscribers after a fixed detection delay."""
+
+    def __init__(self, kernel: Kernel, detection_delay: float) -> None:
+        self.kernel = kernel
+        self.detection_delay = detection_delay
+        self._subscribers: list[Callable[[ProcessId], None]] = []
+        self.detected: list[tuple[float, ProcessId]] = []
+
+    def subscribe(self, callback: Callable[[ProcessId], None]) -> None:
+        self._subscribers.append(callback)
+
+    def report_crash(self, pid: ProcessId) -> None:
+        """A crash just happened; detection fires after the bounded delay."""
+        self.kernel.schedule(
+            self.detection_delay, self._detect, pid, label=f"detect crash P{pid}"
+        )
+
+    def _detect(self, pid: ProcessId) -> None:
+        self.detected.append((self.kernel.now, pid))
+        self.kernel.trace.emit(self.kernel.now, "failure", f"crash of P{pid} detected")
+        for callback in list(self._subscribers):
+            callback(pid)

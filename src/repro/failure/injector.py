@@ -1,0 +1,36 @@
+"""Crash injection schedules."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.cluster.config import CrashPlan
+from repro.errors import ConfigError
+from repro.sim.kernel import Kernel
+
+
+class CrashInjector:
+    """Schedules fail-stop crashes according to a list of CrashPlans."""
+
+    def __init__(self, kernel: Kernel, crash_fn: Callable[[CrashPlan], None]) -> None:
+        self.kernel = kernel
+        self._crash_fn = crash_fn
+        self.plans: list[CrashPlan] = []
+
+    def schedule(self, plans: Iterable[CrashPlan]) -> None:
+        seen: set[int] = {plan.pid for plan in self.plans}
+        for plan in plans:
+            if plan.pid in seen:
+                raise ConfigError(
+                    f"process {plan.pid} scheduled to crash twice; use separate "
+                    "runs (re-crash of a recovered process is driven by the "
+                    "system API, not the static plan)"
+                )
+            seen.add(plan.pid)
+            self.plans.append(plan)
+            self.kernel.schedule_at(
+                plan.at_time, self._fire, plan, label=f"crash P{plan.pid}"
+            )
+
+    def _fire(self, plan: CrashPlan) -> None:
+        self._crash_fn(plan)

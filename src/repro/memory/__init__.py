@@ -1,0 +1,28 @@
+"""Entry-consistency distributed shared memory.
+
+Implements the paper's section 3.1 memory model and the modified Li-Hudak
+dynamic-distributed-manager coherence protocol of section 4.1/4.2
+(simplified to centralized copy sets, exactly as the paper's own
+presentation does -- see its footnote 1).
+"""
+
+from repro.memory.objects import ObjectDirectory, SharedObject, SharedObjectSpec
+from repro.memory.consistency import (
+    AbstractAcquire,
+    Cut,
+    History,
+    check_consistency,
+)
+from repro.memory.coherence import CoherenceHooks, EntryConsistencyEngine
+
+__all__ = [
+    "AbstractAcquire",
+    "CoherenceHooks",
+    "Cut",
+    "EntryConsistencyEngine",
+    "History",
+    "ObjectDirectory",
+    "SharedObject",
+    "SharedObjectSpec",
+    "check_consistency",
+]

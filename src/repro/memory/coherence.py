@@ -1,0 +1,869 @@
+"""Entry-consistency coherence engine (paper sections 3.1, 4.1, 4.2).
+
+One :class:`EntryConsistencyEngine` runs inside each DiSOM process.  It is
+a faithful implementation of the paper's simplified presentation of
+DiSOM's modified Li-Hudak dynamic-distributed-manager protocol:
+
+* acquire requests travel along the ``probOwner`` chain to the owner;
+* the owner queues conflicting requests (CREW), grants compatible ones;
+* read grants hand out read-only copies tracked in the owner's ``copySet``;
+* write grants move ownership (and the copySet) to the writer, which then
+  invalidates the outstanding read copies;
+* local (message-free) re-acquires are satisfied from the valid local copy.
+
+The checkpoint protocol of the paper is *tightly integrated* with this
+engine; the integration points are expressed as the :class:`CoherenceHooks`
+interface so that the same engine also runs bare (the no-fault-tolerance
+baseline) or under alternative fault-tolerance schemes (Janssens-Fuchs
+communication-induced checkpointing, coordinated checkpointing).
+
+Engineering deviations from the paper's prose (each justified in
+DESIGN.md):
+
+* invalidations carry the version they kill and requesters keep a
+  per-object *stale floor*, closing the reply/invalidate race inherent in
+  the simplified centralized-copySet presentation;
+* a writer waits for invalidation acknowledgements before entering its
+  critical section (strict CREW; ablation A3 relaxes it);
+* re-issue of possibly-lost acquire requests happens shortly after
+  recovery completes rather than during data collection, and recovery
+  completion broadcasts per-thread resume points so survivors can purge
+  stale bookkeeping (prevents duplicate grants).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.analysis.metrics import ProcessMetrics
+from repro.errors import ProtocolError
+from repro.memory.objects import ObjectDirectory, SharedObject, SharedObjectSpec
+from repro.net.message import Message, MessageKind
+from repro.sim.kernel import Kernel
+from repro.threads.scheduler import ThreadScheduler
+from repro.threads.syscalls import AcquireRead, AcquireWrite, Log, Release
+from repro.threads.thread import Thread, snapshot
+from repro.types import (
+    AcquireType,
+    ExecutionPoint,
+    HoldState,
+    ObjectId,
+    ObjectStatus,
+    ProcessId,
+    Tid,
+    WaitObj,
+)
+
+#: Forwarding hop budget; exceeding it means a broken probOwner chain.
+MAX_FORWARD_HOPS = 10_000
+
+
+@dataclass
+class PendingRequest:
+    """An acquire request queued at (or travelling towards) the owner."""
+
+    obj_id: ObjectId
+    type: AcquireType
+    p_acq: ProcessId
+    ep_acq: ExecutionPoint
+    hops: int = 0
+    #: Set when the request is from a thread of *this* process.
+    thread: Optional[Thread] = None
+
+    @property
+    def is_local(self) -> bool:
+        return self.thread is not None
+
+    def wire_payload(self) -> dict[str, Any]:
+        return {
+            "obj_id": self.obj_id,
+            "type": self.type,
+            "p_acq": self.p_acq,
+            "hops": self.hops,
+        }
+
+    def wire_control(self) -> dict[str, Any]:
+        # The checkpoint-protocol part of the request: [ep_acq] (paper 4.2
+        # step 1); accounted as piggyback bytes.
+        return {"ep_acq": self.ep_acq}
+
+
+class CoherenceHooks:
+    """Integration points for fault-tolerance protocols.  All no-ops here.
+
+    The DiSOM checkpoint protocol (:mod:`repro.checkpoint.protocol`)
+    overrides everything; baselines override subsets.
+    """
+
+    def on_object_created(self, obj: SharedObject, spec: SharedObjectSpec) -> None:
+        """Object declared at its home process (version V0 exists)."""
+
+    def on_local_acquire(
+        self,
+        thread: Thread,
+        obj: SharedObject,
+        acq_type: AcquireType,
+        ep_acq: ExecutionPoint,
+        local_dep: Optional[ExecutionPoint],
+    ) -> None:
+        """A local acquire was granted (paper 4.2, local step 1)."""
+
+    def on_remote_grant(self, obj: SharedObject, req: PendingRequest) -> dict[str, Any]:
+        """The owner granted a remote request; returns the reply's
+        checkpoint-control fields (paper 4.2 step 2: ``[ep_prd, version]``)."""
+        return {}
+
+    def on_reply_received(
+        self,
+        thread: Thread,
+        obj: SharedObject,
+        acq_type: AcquireType,
+        ep_acq: ExecutionPoint,
+        p_prd: ProcessId,
+        control: dict[str, Any],
+    ) -> None:
+        """The requester processed an acquire reply (paper 4.2 step 3)."""
+
+    def on_release_write(self, thread: Thread, obj: SharedObject) -> None:
+        """A release-write produced a new version (paper 4.2 step 4)."""
+
+    def on_before_grant_data(self, obj: SharedObject, req: PendingRequest) -> None:
+        """Called just before the owner ships object data to another
+        process.  The Janssens-Fuchs baseline checkpoints here ("a process
+        is checkpointed exactly before its updates become visible")."""
+
+    def on_ownership_installed(self, obj: SharedObject) -> None:
+        """Ownership of a version produced elsewhere was installed while
+        the object remains grantable (a write acquire deferred behind
+        sibling readers): the protocol may need to materialize state for
+        the new owner (DiSOM synthesizes the last version's log entry)."""
+
+
+class EntryConsistencyEngine:
+    """The per-process coherence protocol state machine."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        kernel: Kernel,
+        directory: ObjectDirectory,
+        scheduler: ThreadScheduler,
+        metrics: ProcessMetrics,
+        send_message: Callable[[MessageKind, ProcessId, dict, Optional[dict]], None],
+        hooks: Optional[CoherenceHooks] = None,
+        strict_invalidation_acks: bool = True,
+    ) -> None:
+        self.pid = pid
+        self.kernel = kernel
+        self.directory = directory
+        self.scheduler = scheduler
+        self.metrics = metrics
+        self.send_message = send_message
+        self.hooks = hooks if hooks is not None else CoherenceHooks()
+        self.strict_invalidation_acks = strict_invalidation_acks
+        #: Cluster-wide grant-once guard (set by the system): called with
+        #: the acquire ep before granting; returns False when the acquire
+        #: was already granted somewhere, in which case the (re-issued
+        #: duplicate) request is discarded.  This realizes the paper's
+        #: "duplicate requests are detected and discarded by the memory
+        #: coherence protocol" (section 4.3.1 step 5); see DESIGN.md.
+        self.grant_gate: Callable[[ExecutionPoint, ProcessId], bool] = (
+            lambda ep, pid: True
+        )
+        #: Observer of completed acquires (set by the system): called with
+        #: (tid, lt, obj_id, version, type).  Keyed by (tid, lt), so a
+        #: re-executed acquire after recovery overwrites its rolled-back
+        #: ancestor -- the recorded history is the *final* execution,
+        #: checkable against the paper's section-3.1 definition.
+        self.acquire_observer: Callable[..., None] = lambda *args: None
+
+        #: FIFO queues of conflicting requests, per object (owner side).
+        self._queues: dict[ObjectId, deque[PendingRequest]] = {}
+        #: Dedup bookkeeping: for each object, eps we have queued/granted.
+        self._seen: dict[ObjectId, dict[ExecutionPoint, str]] = {}
+        #: Write acquires waiting for invalidation acks:
+        #: (obj, tid) -> {"waiting": set of pids, "action": completion}.
+        self._pending_acks: dict[tuple[ObjectId, Tid], dict] = {}
+        #: Objects whose read copies are being invalidated for a *local*
+        #: write acquire; conflicting acquires queue behind it.
+        self._invalidating: set[ObjectId] = set()
+        #: Remote write acquires whose ownership has arrived but whose
+        #: completion waits for *sibling threads'* local read holds to
+        #: drain (local CREW): obj -> list of (thread, value).
+        self._pending_local_writes: dict[ObjectId, list] = {}
+        #: Highest version known stale per object (reply/invalidate race).
+        self._stale_floor: dict[ObjectId, tuple[int, ProcessId]] = {}
+        #: Object ids with a pending local *write* request (awaiting
+        #: ownership); incoming requests for them are queued, not forwarded.
+        self._awaiting_ownership: set[ObjectId] = set()
+        #: Crashed processes we must not grant to (failure detector input).
+        self._known_crashed: set[ProcessId] = set()
+        #: Objects gated during recovery replay (set by the replayer).
+        self.blocked_objects: set[ObjectId] = set()
+        self._barrier_waiters: dict[ObjectId, list[tuple[Thread, Any]]] = {}
+        #: When False, incoming coherence messages are buffered (recovery).
+        self.accepting = True
+        self._buffered: list[Message] = []
+        #: Gate for post-replay threads: while True, normal-mode acquires
+        #: by local threads are deferred until recovery fully completes.
+        self.hold_normal_acquires = False
+        self._held_acquires: list[tuple[Thread, Any]] = []
+
+    # ==================================================================
+    # syscall entry points (called by the process / scheduler handler)
+    # ==================================================================
+    def handle_acquire(self, thread: Thread, syscall: Any) -> None:
+        if not self.scheduler.alive:
+            return
+        obj_id = syscall.obj_id
+        acq_type = syscall.type
+        if obj_id in self.blocked_objects:
+            # Recovery replay still owes versions of this object; defer.
+            self._barrier_waiters.setdefault(obj_id, []).append((thread, syscall))
+            return
+        if self.hold_normal_acquires:
+            self._held_acquires.append((thread, syscall))
+            return
+        obj = self.directory.get(obj_id)
+        thread.check_can_acquire(obj_id)
+        thread.tick()
+        thread.acquire_pending = True
+        ep_acq = thread.current_ep()
+        thread.wait_obj = WaitObj(obj_id, acq_type, ep_acq)
+
+        if self._local_acquire_possible(obj, acq_type):
+            queue = self._queues.get(obj_id)
+            if queue or obj_id in self._invalidating or obj_id in self._pending_local_writes:
+                # Fairness: do not bypass already-queued requests (or a
+                # local write whose invalidations are still in flight).
+                req = PendingRequest(obj_id, acq_type, self.pid, ep_acq, thread=thread)
+                self._enqueue(obj, req)
+            elif obj.can_grant_locally(acq_type):
+                self._admit_local(thread, obj, acq_type, ep_acq)
+            else:
+                req = PendingRequest(obj_id, acq_type, self.pid, ep_acq, thread=thread)
+                self._enqueue(obj, req)
+        else:
+            self._send_request(
+                PendingRequest(obj_id, acq_type, self.pid, ep_acq, thread=thread),
+                obj.prob_owner,
+            )
+
+    def handle_release(self, thread: Thread, syscall: Release) -> None:
+        obj_id = syscall.obj_id
+        mode = thread.check_can_release(obj_id)
+        obj = self.directory.get(obj_id)
+        value = syscall.value if syscall.has_value else thread.acquired_values.get(obj_id)
+        thread.note_released(obj_id)
+        obj.note_released(thread.tid)
+
+        if mode.is_write:
+            if obj.status is not ObjectStatus.OWNED:
+                raise ProtocolError(
+                    f"{self.pid}: release-write of {obj_id} but not owner"
+                )
+            obj.data = snapshot(value)
+            obj.version += 1
+            obj.ep_dep = thread.current_ep()
+            self.metrics.release_writes += 1
+            self.hooks.on_release_write(thread, obj)
+        else:
+            self.metrics.release_reads += 1
+            if obj.status is ObjectStatus.OWNED:
+                obj.ep_dep = thread.current_ep()
+            self._maybe_complete_deferred_invalidate(obj)
+
+        self._maybe_finish_pending_local_write(obj)
+        self._process_queue(obj)
+        self.scheduler.complete(thread, None)
+
+    # ==================================================================
+    # local acquires (paper 4.2, local-acquire steps)
+    # ==================================================================
+    def _local_acquire_possible(self, obj: SharedObject, acq_type: AcquireType) -> bool:
+        if acq_type.is_write:
+            return obj.status is ObjectStatus.OWNED
+        return obj.has_valid_copy
+
+    def _admit_local(
+        self,
+        thread: Thread,
+        obj: SharedObject,
+        acq_type: AcquireType,
+        ep_acq: ExecutionPoint,
+    ) -> None:
+        """Admit a local acquire, invalidating remote read copies first
+        when a write at the owner conflicts with them (CREW)."""
+        if acq_type.is_write and obj.copy_set and obj.status is ObjectStatus.OWNED:
+            targets = set(obj.copy_set)
+            self._send_invalidations(obj, targets)
+            if self.strict_invalidation_acks:
+                self._invalidating.add(obj.obj_id)
+                self._pending_acks[(obj.obj_id, thread.tid)] = {
+                    "waiting": targets,
+                    "action": lambda: self._grant_local(thread, obj, acq_type, ep_acq),
+                }
+                return
+        self._grant_local(thread, obj, acq_type, ep_acq)
+
+    def _grant_local(
+        self,
+        thread: Thread,
+        obj: SharedObject,
+        acq_type: AcquireType,
+        ep_acq: ExecutionPoint,
+    ) -> None:
+        local_dep = obj.ep_dep
+        if acq_type.is_write:
+            # The acquire may be a converted own-request that had been
+            # issued remotely before ownership arrived here; the wait is
+            # over (we own the object now).
+            self._awaiting_ownership.discard(obj.obj_id)
+        self.hooks.on_local_acquire(thread, obj, acq_type, ep_acq, local_dep)
+        obj.ep_dep = ep_acq
+        obj.note_held(thread.tid, acq_type)
+        value = snapshot(obj.data)
+        thread.note_acquired(obj.obj_id, acq_type, value)
+        thread.wait_obj = None
+        self.metrics.local_acquires += 1
+        self.acquire_observer(thread.tid, ep_acq.lt, obj.obj_id, obj.version,
+                              acq_type)
+        self.scheduler.complete(thread, value)
+
+    # ==================================================================
+    # remote acquires: request path
+    # ==================================================================
+    def _send_request(self, req: PendingRequest, dst: ProcessId) -> None:
+        if req.is_local:
+            self.metrics.remote_acquires += 1
+            if req.type.is_write:
+                self._awaiting_ownership.add(req.obj_id)
+        if dst == self.pid:
+            # probOwner points at ourselves but the local copy is not
+            # valid -- can only be a transient recovery state; treat as a
+            # protocol bug to surface loudly.
+            raise ProtocolError(
+                f"{self.pid}: request for {req.obj_id} routed to self "
+                f"(status={self.directory.get(req.obj_id).status})"
+            )
+        self.send_message(
+            MessageKind.ACQUIRE_REQUEST, dst, req.wire_payload(), req.wire_control()
+        )
+
+    def _enqueue(self, obj: SharedObject, req: PendingRequest) -> None:
+        self._queues.setdefault(obj.obj_id, deque()).append(req)
+        self._seen.setdefault(obj.obj_id, {})[req.ep_acq] = "queued"
+        self.metrics.queued_requests += 1
+
+    # ==================================================================
+    # message handling
+    # ==================================================================
+    def on_message(self, message: Message) -> None:
+        if not self.accepting:
+            self._buffered.append(message)
+            return
+        kind = message.kind
+        if kind is MessageKind.ACQUIRE_REQUEST:
+            self._on_request(message)
+        elif kind is MessageKind.ACQUIRE_REPLY:
+            self._on_reply(message)
+        elif kind is MessageKind.INVALIDATE:
+            self._on_invalidate(message)
+        elif kind is MessageKind.INVALIDATE_ACK:
+            self._on_invalidate_ack(message)
+        else:
+            raise ProtocolError(f"{self.pid}: unexpected coherence message {message}")
+
+    def flush_buffered(self) -> None:
+        """Process messages buffered during recovery, in arrival order."""
+        buffered, self._buffered = self._buffered, []
+        for message in buffered:
+            self.on_message(message)
+
+    # ------------------------------------------------------------------
+    def _on_request(self, message: Message) -> None:
+        payload = message.payload
+        control = message.piggyback.control if message.piggyback else {}
+        ep_acq: ExecutionPoint = control["ep_acq"]
+        req = PendingRequest(
+            obj_id=payload["obj_id"],
+            type=payload["type"],
+            p_acq=payload["p_acq"],
+            ep_acq=ep_acq,
+            hops=payload["hops"],
+        )
+        obj = self.directory.get(req.obj_id)
+
+        seen = self._seen.get(req.obj_id, {})
+        if req.ep_acq in seen:
+            # Duplicate (re-issued) request: "detected and discarded by the
+            # memory coherence protocol" (paper 4.3.1 step 5).
+            self.metrics.duplicate_requests_discarded += 1
+            return
+        if req.p_acq in self._known_crashed:
+            # Never grant to a process known to have failed; its recovery
+            # will re-create or re-issue the acquire as appropriate.
+            return
+        if req.p_acq == self.pid:
+            # Our own request came back to us: ownership returned here
+            # (e.g. reclaimed after a multi-failure rollback) while the
+            # request was travelling.  Convert it to a local request.
+            thread = self.scheduler.threads.get(req.ep_acq.tid)
+            if (
+                thread is None
+                or thread.wait_obj is None
+                or thread.wait_obj.ep_acq != req.ep_acq
+            ):
+                self.metrics.duplicate_requests_discarded += 1
+                return
+            req.thread = thread
+
+        if obj.status is ObjectStatus.OWNED:
+            self._owner_admit(obj, req)
+        elif req.obj_id in self._awaiting_ownership and not req.is_local:
+            # We will (eventually) become the owner: queue behind our own
+            # pending write instead of bouncing the request around.  Our
+            # *own* awaited request must never park behind itself -- it is
+            # forwarded along the (healing) probOwner chain instead.
+            self._enqueue(obj, req)
+        elif req.is_local and obj.prob_owner == self.pid:
+            # Transient: our ownership hint points at ourselves but the
+            # copy is invalid.  Drop; the post-recovery re-issue retries.
+            self.metrics.duplicate_requests_discarded += 1
+        else:
+            if req.hops + 1 > MAX_FORWARD_HOPS:
+                raise ProtocolError(
+                    f"{self.pid}: forwarding budget exceeded for {req.obj_id}"
+                )
+            req.hops += 1
+            self.metrics.request_forwards += 1
+            self.send_message(
+                MessageKind.ACQUIRE_REQUEST,
+                obj.prob_owner,
+                req.wire_payload(),
+                req.wire_control(),
+            )
+
+    def _owner_admit(self, obj: SharedObject, req: PendingRequest) -> None:
+        queue = self._queues.get(obj.obj_id)
+        if queue or obj.obj_id in self._invalidating:
+            self._enqueue(obj, req)
+            return
+        if req.type.is_write:
+            grantable = obj.can_grant_locally(AcquireType.WRITE)
+        else:
+            grantable = obj.local_writer is None
+        if not grantable:
+            self._enqueue(obj, req)
+        elif not self.grant_gate(req.ep_acq, self.pid):
+            self.metrics.duplicate_requests_discarded += 1
+        elif req.is_local:
+            self._admit_local(req.thread, obj, req.type, req.ep_acq)
+        else:
+            self._grant_remote(obj, req)
+
+    # ------------------------------------------------------------------
+    # granting (owner side; paper 4.2 step 2)
+    # ------------------------------------------------------------------
+    def _grant_remote(self, obj: SharedObject, req: PendingRequest) -> None:
+        self.hooks.on_before_grant_data(obj, req)
+        control = dict(self.hooks.on_remote_grant(obj, req))
+        control["version"] = obj.version
+        control["ep_acq"] = req.ep_acq
+        self._seen.setdefault(obj.obj_id, {})[req.ep_acq] = "granted"
+        self.metrics.grants += 1
+
+        payload: dict[str, Any] = {
+            "obj_id": obj.obj_id,
+            "type": req.type,
+            "obj_data": snapshot(obj.data),
+            "p_prd": self.pid,
+        }
+        if req.type.is_write:
+            # 2(b): move ownership and the copySet to the new writer.
+            payload["copy_set"] = sorted(obj.copy_set - {req.p_acq})
+            self.send_message(MessageKind.ACQUIRE_REPLY, req.p_acq, payload, control)
+            self._transfer_ownership(obj, req.p_acq)
+        else:
+            # 2(a): add the reader to the copySet.
+            obj.copy_set.add(req.p_acq)
+            self.send_message(MessageKind.ACQUIRE_REPLY, req.p_acq, payload, control)
+
+    def _transfer_ownership(self, obj: SharedObject, new_owner: ProcessId) -> None:
+        obj.prob_owner = new_owner
+        obj.status = ObjectStatus.NO_ACCESS
+        obj.copy_set = set()
+        obj.data = None
+        self.metrics.ownership_transfers += 1
+        # Forward the rest of the queue to the new owner (Li's protocol).
+        queue = self._queues.pop(obj.obj_id, None)
+        if queue:
+            seen = self._seen.get(obj.obj_id, {})
+            for queued in queue:
+                seen.pop(queued.ep_acq, None)
+                if queued.is_local:
+                    # Our own thread's request now needs the remote path.
+                    self._send_request(queued, new_owner)
+                else:
+                    queued.hops += 1
+                    self.metrics.request_forwards += 1
+                    self.send_message(
+                        MessageKind.ACQUIRE_REQUEST,
+                        new_owner,
+                        queued.wire_payload(),
+                        queued.wire_control(),
+                    )
+
+    def _process_queue(self, obj: SharedObject) -> None:
+        """Grant whatever the CREW rules now allow, in FIFO order."""
+        queue = self._queues.get(obj.obj_id)
+        if (
+            not queue
+            or obj.status is not ObjectStatus.OWNED
+            or obj.obj_id in self._invalidating
+        ):
+            return
+        while queue:
+            head = queue[0]
+            if head.type.is_write:
+                if not obj.can_grant_locally(AcquireType.WRITE):
+                    break
+                queue.popleft()
+                self._seen.get(obj.obj_id, {}).pop(head.ep_acq, None)
+                if not self.grant_gate(head.ep_acq, self.pid):
+                    self.metrics.duplicate_requests_discarded += 1
+                    continue
+                if head.is_local:
+                    self._admit_local(head.thread, obj, head.type, head.ep_acq)
+                else:
+                    self._grant_remote(obj, head)
+                break  # a write grant ends the batch either way
+            else:
+                if obj.local_writer is not None:
+                    break
+                queue.popleft()
+                self._seen.get(obj.obj_id, {}).pop(head.ep_acq, None)
+                if not self.grant_gate(head.ep_acq, self.pid):
+                    self.metrics.duplicate_requests_discarded += 1
+                    continue
+                if head.is_local:
+                    self._grant_local(head.thread, obj, head.type, head.ep_acq)
+                else:
+                    self._grant_remote(obj, head)
+        if not queue:
+            self._queues.pop(obj.obj_id, None)
+
+    # ------------------------------------------------------------------
+    # reply path (requester side; paper 4.2 step 3)
+    # ------------------------------------------------------------------
+    def _on_reply(self, message: Message) -> None:
+        payload = message.payload
+        control = message.piggyback.control if message.piggyback else {}
+        obj_id = payload["obj_id"]
+        ep_acq: ExecutionPoint = control["ep_acq"]
+        acq_type: AcquireType = payload["type"]
+        thread = self.scheduler.threads.get(ep_acq.tid)
+        if (
+            thread is None
+            or thread.wait_obj is None
+            or thread.wait_obj.ep_acq != ep_acq
+        ):
+            # Stale/duplicate reply (re-issue race or pre-crash leftover).
+            self.metrics.duplicate_requests_discarded += 1
+            return
+
+        obj = self.directory.get(obj_id)
+        version = control["version"]
+        p_prd: ProcessId = payload["p_prd"]
+
+        if acq_type.is_write:
+            obj.data = snapshot(payload["obj_data"])
+            obj.version = version
+            obj.status = ObjectStatus.OWNED
+            obj.prob_owner = self.pid
+            obj.copy_set = set(payload.get("copy_set", []))
+            self._awaiting_ownership.discard(obj_id)
+        else:
+            stale = self._stale_floor.get(obj_id)
+            if stale is not None and version <= stale[0]:
+                # The copy we are receiving was already invalidated by a
+                # newer writer; the thread still gets the version it
+                # legitimately acquired, but no read copy is cached.
+                obj.status = ObjectStatus.NO_ACCESS
+                obj.prob_owner = stale[1]
+                obj.data = None
+            else:
+                obj.data = snapshot(payload["obj_data"])
+                obj.version = version
+                obj.status = ObjectStatus.READ
+                obj.prob_owner = p_prd
+
+        self.hooks.on_reply_received(thread, obj, acq_type, ep_acq, p_prd, control)
+        obj.ep_dep = ep_acq
+        thread.wait_obj = None
+
+        value = snapshot(payload["obj_data"])
+        if acq_type.is_write:
+            if obj.hold_state is not HoldState.FREE:
+                # Ownership has arrived, but sibling threads still hold
+                # local read copies: CREW defers the writer until they
+                # release (the owner that granted us could not see them).
+                self.hooks.on_ownership_installed(obj)
+                self._pending_local_writes.setdefault(obj_id, []).append(
+                    (thread, value)
+                )
+                return
+            self._finish_remote_write(thread, obj, value)
+        else:
+            obj.note_held(thread.tid, acq_type)
+            thread.note_acquired(obj_id, acq_type, value)
+            self.acquire_observer(thread.tid, ep_acq.lt, obj_id, version,
+                                  acq_type)
+            self.scheduler.complete(thread, value)
+
+    def _finish_remote_write(self, thread: Thread, obj: SharedObject, value: Any) -> None:
+        obj_id = obj.obj_id
+        obj.note_held(thread.tid, AcquireType.WRITE)
+        thread.note_acquired(obj_id, AcquireType.WRITE, value)
+        self.acquire_observer(thread.tid, thread.lt, obj_id, obj.version,
+                              AcquireType.WRITE)
+        invalidatees = set(obj.copy_set)
+        if invalidatees:
+            self._send_invalidations(obj, invalidatees)
+            if self.strict_invalidation_acks:
+                self._pending_acks[(obj_id, thread.tid)] = {
+                    "waiting": invalidatees,
+                    "action": lambda: self.scheduler.complete(
+                        thread, thread.acquired_values[obj_id]
+                    ),
+                }
+                return  # completed when the last ack arrives
+        self.scheduler.complete(thread, value)
+
+    def _maybe_finish_pending_local_write(self, obj: SharedObject) -> None:
+        pending = self._pending_local_writes.get(obj.obj_id)
+        if not pending or obj.hold_state is not HoldState.FREE:
+            return
+        thread, value = pending.pop(0)
+        if not pending:
+            del self._pending_local_writes[obj.obj_id]
+        self._finish_remote_write(thread, obj, value)
+
+    def _send_invalidations(self, obj: SharedObject, targets: set[ProcessId]) -> None:
+        for pid in sorted(targets):
+            self.metrics.invalidations_sent += 1
+            self.send_message(
+                MessageKind.INVALIDATE,
+                pid,
+                {
+                    "obj_id": obj.obj_id,
+                    "new_owner": self.pid,
+                    "version": obj.version,
+                },
+                None,
+            )
+
+    # ------------------------------------------------------------------
+    # invalidation handling (reader side)
+    # ------------------------------------------------------------------
+    def _on_invalidate(self, message: Message) -> None:
+        payload = message.payload
+        obj = self.directory.get(payload["obj_id"])
+        new_owner: ProcessId = payload["new_owner"]
+        version: int = payload["version"]
+        self.metrics.invalidations_received += 1
+        if obj.status is ObjectStatus.OWNED and obj.version >= version:
+            # Late invalidation from an older writer, already superseded by
+            # our own ownership (only reachable with relaxed acks, A3).
+            self.send_message(
+                MessageKind.INVALIDATE_ACK,
+                new_owner,
+                {"obj_id": obj.obj_id, "from": self.pid, "version": version},
+                None,
+            )
+            return
+        floor = self._stale_floor.get(obj.obj_id)
+        if floor is None or version > floor[0]:
+            self._stale_floor[obj.obj_id] = (version, new_owner)
+
+        if obj.local_readers:
+            # Defer: a local thread is inside its read critical section;
+            # the ack goes out when the last reader releases.
+            obj.pending_invalidate_from = (new_owner, new_owner, version)
+            return
+        self._apply_invalidate(obj, new_owner, ack_to=new_owner, version=version)
+
+    def _apply_invalidate(
+        self,
+        obj: SharedObject,
+        new_owner: ProcessId,
+        ack_to: Optional[ProcessId],
+        version: Optional[int] = None,
+    ) -> None:
+        if obj.status is ObjectStatus.READ:
+            obj.status = ObjectStatus.NO_ACCESS
+            obj.data = None
+        obj.prob_owner = new_owner
+        obj.pending_invalidate_from = None
+        if ack_to is not None:
+            self.send_message(
+                MessageKind.INVALIDATE_ACK,
+                ack_to,
+                {
+                    "obj_id": obj.obj_id,
+                    "from": self.pid,
+                    "version": version if version is not None else obj.version,
+                },
+                None,
+            )
+
+    def _maybe_complete_deferred_invalidate(self, obj: SharedObject) -> None:
+        if obj.pending_invalidate_from is not None and not obj.local_readers:
+            new_owner, ack_to, version = obj.pending_invalidate_from
+            self._apply_invalidate(obj, new_owner, ack_to, version)
+
+    def _on_invalidate_ack(self, message: Message) -> None:
+        payload = message.payload
+        obj_id = payload["obj_id"]
+        source: ProcessId = payload["from"]
+        obj = self.directory.get(obj_id)
+        acked_version = payload.get("version")
+        if acked_version is None or acked_version >= obj.version:
+            # An ack for an *older* invalidation (e.g. one re-sent across a
+            # recovery) must not evict a reader that has since re-acquired
+            # a current copy.
+            obj.copy_set.discard(source)
+        for (pending_obj, tid), pending in list(self._pending_acks.items()):
+            if pending_obj != obj_id:
+                continue
+            pending["waiting"].discard(source)
+            if not pending["waiting"]:
+                del self._pending_acks[(pending_obj, tid)]
+                self._invalidating.discard(obj_id)
+                pending["action"]()
+                self._process_queue(obj)
+
+    # ==================================================================
+    # recovery support hooks (used by repro.checkpoint.recovery/replay)
+    # ==================================================================
+    def enter_recovery_mode(self) -> None:
+        self.accepting = False
+
+    def exit_recovery_mode(self) -> None:
+        self.accepting = True
+        self.flush_buffered()
+
+    def release_barrier(self, obj_id: ObjectId) -> None:
+        """Replay finished installing versions of ``obj_id``; re-admit
+        acquires that were deferred at the barrier."""
+        self.blocked_objects.discard(obj_id)
+        waiters = self._barrier_waiters.pop(obj_id, [])
+        for thread, syscall in waiters:
+            # Re-admit through the process-level handler so replay
+            # progress tracking observes the outcome.
+            self.kernel.call_soon(self.scheduler.handler.handle_acquire,
+                                  thread, syscall,
+                                  label=f"barrier-release {obj_id}")
+
+    def release_held_acquires(self) -> None:
+        """Recovery fully completed: admit held normal-mode acquires."""
+        self.hold_normal_acquires = False
+        held, self._held_acquires = self._held_acquires, []
+        for thread, syscall in held:
+            self.kernel.call_soon(self.scheduler.handler.handle_acquire,
+                                  thread, syscall,
+                                  label="recovery-release-acquire")
+
+    def note_crashed(self, pid: ProcessId) -> None:
+        """Failure detector: purge queued requests from the dead process."""
+        self._known_crashed.add(pid)
+        for obj_id, queue in list(self._queues.items()):
+            keep = deque(r for r in queue if r.p_acq != pid)
+            dropped = [r for r in queue if r.p_acq == pid]
+            for req in dropped:
+                self._seen.get(obj_id, {}).pop(req.ep_acq, None)
+            if keep:
+                self._queues[obj_id] = keep
+            else:
+                self._queues.pop(obj_id, None)
+
+    def note_recovered(self, pid: ProcessId, resume_lts: dict[Tid, int]) -> None:
+        """RECOVERY_DONE: purge bookkeeping past the resume points.
+
+        Grants recorded for executions the recovering process discarded
+        (acquires beyond the replay prefix) must be forgotten, otherwise
+        the re-executed thread's fresh request at the same logical time
+        would be discarded as a duplicate.
+        """
+        self._known_crashed.discard(pid)
+        for obj_id, seen in self._seen.items():
+            for ep in list(seen):
+                if ep.tid.pid != pid:
+                    continue
+                resume = resume_lts.get(ep.tid)
+                if resume is not None and ep.lt > resume:
+                    del seen[ep]
+        # A write acquire of ours may still be waiting for an invalidation
+        # ack that died with the crashed process; re-send the invalidation
+        # (idempotent at the receiver) so the ack can arrive.
+        for (obj_id, _tid), pending in list(self._pending_acks.items()):
+            if pid in pending["waiting"]:
+                obj = self.directory.get(obj_id)
+                self.metrics.invalidations_sent += 1
+                self.send_message(
+                    MessageKind.INVALIDATE,
+                    pid,
+                    {"obj_id": obj_id, "new_owner": self.pid, "version": obj.version},
+                    None,
+                )
+
+    def reissue_pending(self) -> int:
+        """Re-issue acquire requests that may have died with a process
+        (paper 4.3.1 step 5); duplicates are discarded by dedup."""
+        reissued = 0
+        for tid in sorted(self.scheduler.threads):
+            thread = self.scheduler.threads[tid]
+            wait = thread.wait_obj
+            if wait is None:
+                continue
+            if (wait.obj_id, tid) in self._pending_acks:
+                continue  # waiting on invalidation acks, not on a reply
+            obj = self.directory.get(wait.obj_id)
+            req = PendingRequest(wait.obj_id, wait.type, self.pid, wait.ep_acq,
+                                 thread=thread)
+            queue = self._queues.get(wait.obj_id)
+            if queue and any(r.ep_acq == wait.ep_acq for r in queue):
+                continue  # still safely queued locally
+            if obj.prob_owner == self.pid:
+                # Ownership arrived here while the thread's request was
+                # still travelling: admit it locally (deduplicated like an
+                # arriving request).
+                if wait.ep_acq in self._seen.get(wait.obj_id, {}):
+                    continue
+                if obj.status is ObjectStatus.OWNED:
+                    self.metrics.reissued_requests += 1
+                    reissued += 1
+                    self._owner_admit(obj, req)
+                continue  # not owner yet: transient hint, retry next tick
+            self.metrics.reissued_requests += 1
+            reissued += 1
+            if req.type.is_write:
+                self._awaiting_ownership.add(req.obj_id)
+            self.send_message(
+                MessageKind.ACQUIRE_REQUEST,
+                obj.prob_owner,
+                req.wire_payload(),
+                req.wire_control(),
+            )
+        return reissued
+
+    # ==================================================================
+    # introspection for tests
+    # ==================================================================
+    def queue_length(self, obj_id: ObjectId) -> int:
+        return len(self._queues.get(obj_id, ()))
+
+    def has_pending_acks(self) -> bool:
+        return bool(self._pending_acks)

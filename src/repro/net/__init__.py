@@ -1,0 +1,28 @@
+"""Reliable FIFO message transport for the simulated cluster.
+
+The paper's system model (section 3): "Processes communicate only by message
+passing.  Messages are delivered reliably and in FIFO order."  This package
+provides exactly that on top of the discrete-event kernel, plus the
+accounting the evaluation needs: every message carries a *layer* tag
+(coherence / checkpoint / recovery / application) and an explicit
+*piggyback* compartment, so experiments can verify the paper's "no extra
+messages during the failure-free period" claim and measure the piggyback
+byte overhead.
+"""
+
+from repro.net.message import Message, MessageKind, Piggyback
+from repro.net.channel import Channel, LatencyModel
+from repro.net.network import Network
+from repro.net.sizing import payload_size
+from repro.net.stats import NetworkStats
+
+__all__ = [
+    "Channel",
+    "LatencyModel",
+    "Message",
+    "MessageKind",
+    "Network",
+    "NetworkStats",
+    "Piggyback",
+    "payload_size",
+]

@@ -1,0 +1,158 @@
+"""Message structure.
+
+Messages are described in the paper (section 4.2, footnote 2) as tuples
+``([alpha], [beta])`` where ``alpha`` is the memory-coherence information and
+``beta`` the checkpoint-protocol information piggybacked on it.  We model
+that split explicitly: :attr:`Message.payload` is the coherence part and
+:attr:`Message.piggyback` the checkpoint part, so the byte accounting can
+separate them.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.net.sizing import HEADER_BYTES, payload_size
+from repro.types import ProcessId
+
+
+class MessageKind(enum.Enum):
+    """All message kinds used by the protocols in this repository."""
+
+    # -- entry-consistency coherence protocol (paper section 4.2) --------
+    ACQUIRE_REQUEST = "acquire-request"
+    ACQUIRE_REPLY = "acquire-reply"
+    INVALIDATE = "invalidate"
+    INVALIDATE_ACK = "invalidate-ack"
+
+    # -- checkpoint protocol (failure-free: piggyback-only; these kinds
+    #    exist for the eager-shipping ablation A1) ------------------------
+    DUMMY_SHIP = "dummy-ship"
+    CKPT_GC = "ckpt-gc"
+
+    # -- recovery (paper section 4.3) -------------------------------------
+    RECOVERY_REQUEST = "recovery-request"
+    RECOVERY_REPLY = "recovery-reply"
+    RECOVERY_DONE = "recovery-done"
+    ABORT = "abort"
+
+    # -- sequential-consistency page DSM baseline (Li-Hudak IVY) ----------
+    PAGE_REQUEST = "page-request"
+    PAGE_REPLY = "page-reply"
+    PAGE_INVALIDATE = "page-invalidate"
+    PAGE_INVALIDATE_ACK = "page-invalidate-ack"
+
+    # -- coordinated checkpointing baseline (Koo-Toueg style) -------------
+    COORD_CKPT_REQUEST = "coord-ckpt-request"
+    COORD_CKPT_READY = "coord-ckpt-ready"
+    COORD_CKPT_COMMIT = "coord-ckpt-commit"
+    COORD_CKPT_ACK = "coord-ckpt-ack"
+
+    # -- generic application / test traffic -------------------------------
+    APP = "app"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Message layers used for accounting.  ``checkpoint`` layer messages are
+#: exactly the "extra messages" the paper's design avoids in the
+#: failure-free period.
+LAYER_COHERENCE = "coherence"
+LAYER_CHECKPOINT = "checkpoint"
+LAYER_RECOVERY = "recovery"
+LAYER_APP = "app"
+
+_KIND_LAYER = {
+    MessageKind.ACQUIRE_REQUEST: LAYER_COHERENCE,
+    MessageKind.ACQUIRE_REPLY: LAYER_COHERENCE,
+    MessageKind.INVALIDATE: LAYER_COHERENCE,
+    MessageKind.INVALIDATE_ACK: LAYER_COHERENCE,
+    MessageKind.DUMMY_SHIP: LAYER_CHECKPOINT,
+    MessageKind.CKPT_GC: LAYER_CHECKPOINT,
+    MessageKind.RECOVERY_REQUEST: LAYER_RECOVERY,
+    MessageKind.RECOVERY_REPLY: LAYER_RECOVERY,
+    MessageKind.RECOVERY_DONE: LAYER_RECOVERY,
+    MessageKind.ABORT: LAYER_RECOVERY,
+    MessageKind.PAGE_REQUEST: LAYER_COHERENCE,
+    MessageKind.PAGE_REPLY: LAYER_COHERENCE,
+    MessageKind.PAGE_INVALIDATE: LAYER_COHERENCE,
+    MessageKind.PAGE_INVALIDATE_ACK: LAYER_COHERENCE,
+    MessageKind.COORD_CKPT_REQUEST: LAYER_CHECKPOINT,
+    MessageKind.COORD_CKPT_READY: LAYER_CHECKPOINT,
+    MessageKind.COORD_CKPT_COMMIT: LAYER_CHECKPOINT,
+    MessageKind.COORD_CKPT_ACK: LAYER_CHECKPOINT,
+    MessageKind.APP: LAYER_APP,
+}
+
+
+def layer_of(kind: MessageKind) -> str:
+    """Accounting layer of a message kind."""
+    return _KIND_LAYER[kind]
+
+
+@dataclass(slots=True)
+class Piggyback:
+    """Checkpoint-protocol information riding on a coherence message.
+
+    ``control`` carries the per-message checkpoint fields of the paper's
+    ``([alpha],[beta])`` notation (``ep_acq`` on requests, ``ep_prd`` and
+    ``version`` on replies); ``dummies`` carries dummy log entries being
+    shipped off-node (section 4.2, local acquire step 3); ``ckp_sets``
+    carries garbage-collection CkpSet announcements (section 4.4).  The
+    latter two are lists because several may accumulate between coherence
+    messages to a given destination.
+    """
+
+    control: dict[str, Any] = field(default_factory=dict)
+    dummies: list[Any] = field(default_factory=list)
+    ckp_sets: list[Any] = field(default_factory=list)
+
+    def is_empty(self) -> bool:
+        return not self.control and not self.dummies and not self.ckp_sets
+
+    def size(self) -> int:
+        return (
+            payload_size(self.control)
+            + payload_size(self.dummies)
+            + payload_size(self.ckp_sets)
+        )
+
+
+_msg_counter = itertools.count(1)
+
+
+@dataclass(slots=True)
+class Message:
+    """One network message."""
+
+    src: ProcessId
+    dst: ProcessId
+    kind: MessageKind
+    payload: dict[str, Any] = field(default_factory=dict)
+    piggyback: Optional[Piggyback] = None
+    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+    #: Filled in by the network at send time.
+    send_time: float = -1.0
+
+    @property
+    def layer(self) -> str:
+        return layer_of(self.kind)
+
+    def payload_bytes(self) -> int:
+        return HEADER_BYTES + payload_size(self.payload)
+
+    def piggyback_bytes(self) -> int:
+        return self.piggyback.size() if self.piggyback is not None else 0
+
+    def total_bytes(self) -> int:
+        return self.payload_bytes() + self.piggyback_bytes()
+
+    def __str__(self) -> str:
+        pig = ""
+        if self.piggyback is not None and not self.piggyback.is_empty():
+            pig = f" +pig({len(self.piggyback.dummies)}d,{len(self.piggyback.ckp_sets)}c)"
+        return f"{self.kind} #{self.msg_id} {self.src}->{self.dst}{pig}"

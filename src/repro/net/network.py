@@ -1,0 +1,141 @@
+"""Cluster network: endpoint registry, send/broadcast, crash semantics.
+
+Crash semantics follow the fail-stop model (paper section 3):
+
+* a message already in flight *from* a process that subsequently crashes is
+  still delivered (it was put on the wire before the halt);
+* a message in flight *to* a crashed process is dropped at delivery time;
+* after the crashed process is re-registered (recovery reloads it on a free
+  processor under the same process identifier), new messages flow normally.
+
+Network partitions are not modelled ("network partitions are not
+tolerated").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from repro.errors import ConfigError, SimulationError
+from repro.net.channel import Channel, LatencyModel
+from repro.net.message import Message
+from repro.net.stats import NetworkStats
+from repro.sim.kernel import Kernel
+from repro.types import ProcessId
+
+
+class Endpoint(Protocol):
+    """Anything that can receive messages from the network."""
+
+    def deliver(self, message: Message) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class Network:
+    """Reliable FIFO network connecting all processes of one cluster."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.latency = latency if latency is not None else LatencyModel()
+        self.stats = NetworkStats()
+        self._endpoints: dict[ProcessId, Endpoint] = {}
+        self._channels: dict[tuple[ProcessId, ProcessId], Channel] = {}
+        self._crashed: set[ProcessId] = set()
+        #: Observers called on every send (metrics, baselines such as
+        #: Stumm-Zhou read-replication hook extra payloads here).
+        self.send_hooks: list[Callable[[Message], None]] = []
+
+    # ------------------------------------------------------------------
+    # registration / crash control
+    # ------------------------------------------------------------------
+    def register(self, pid: ProcessId, endpoint: Endpoint) -> None:
+        self._endpoints[pid] = endpoint
+        self._crashed.discard(pid)
+
+    def unregister(self, pid: ProcessId) -> None:
+        self._endpoints.pop(pid, None)
+
+    def mark_crashed(self, pid: ProcessId) -> None:
+        """Fail-stop halt of ``pid``: future deliveries to it are dropped."""
+        if pid not in self._endpoints:
+            raise SimulationError(f"cannot crash unknown process {pid}")
+        self._crashed.add(pid)
+
+    def mark_recovered(self, pid: ProcessId, endpoint: Endpoint) -> None:
+        """Re-register ``pid`` after recovery reloads it on a free node."""
+        self._endpoints[pid] = endpoint
+        self._crashed.discard(pid)
+
+    def is_crashed(self, pid: ProcessId) -> bool:
+        return pid in self._crashed
+
+    @property
+    def pids(self) -> list[ProcessId]:
+        return sorted(self._endpoints)
+
+    def live_pids(self) -> list[ProcessId]:
+        return sorted(p for p in self._endpoints if p not in self._crashed)
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def _channel(self, src: ProcessId, dst: ProcessId) -> Channel:
+        key = (src, dst)
+        channel = self._channels.get(key)
+        if channel is None:
+            rng = None
+            if self.latency.jitter > 0:
+                rng = self.kernel.rng.stream(f"net/{src}->{dst}")
+            channel = Channel(src, dst, self.latency, rng)
+            self._channels[key] = channel
+        return channel
+
+    def send(self, message: Message) -> None:
+        """Send ``message``; delivery is scheduled on the kernel."""
+        if message.src == message.dst:
+            raise ConfigError(
+                f"self-send not allowed ({message}); local interactions "
+                "must not go through the network"
+            )
+        if message.dst not in self._endpoints:
+            raise SimulationError(f"send to unknown process: {message}")
+        if message.src in self._crashed:
+            # A crashed process cannot put new messages on the wire.
+            raise SimulationError(f"crashed process {message.src} tried to send {message}")
+        message.send_time = self.kernel.now
+        self.stats.record_send(message)
+        for hook in self.send_hooks:
+            hook(message)
+        channel = self._channel(message.src, message.dst)
+        when = channel.delivery_time(self.kernel.now, message)
+        self.kernel.schedule_at(when, self._deliver, message, label=str(message.kind))
+        self.kernel.trace.emit(self.kernel.now, "net", f"send {message}",
+                               bytes=message.total_bytes())
+
+    def broadcast(self, src: ProcessId, make_message: Callable[[ProcessId], Message]) -> int:
+        """Logical broadcast: send one message to every other registered process.
+
+        ``make_message`` builds a fresh message per destination (messages are
+        mutable and must not be shared).  Crashed destinations are skipped at
+        send time -- the fail-stop detector has already announced them.
+        Returns the number of messages sent.
+        """
+        sent = 0
+        for pid in self.pids:
+            if pid == src or pid in self._crashed:
+                continue
+            self.send(make_message(pid))
+            sent += 1
+        return sent
+
+    def _deliver(self, message: Message) -> None:
+        if message.dst in self._crashed or message.dst not in self._endpoints:
+            self.stats.record_drop(message)
+            self.kernel.trace.emit(self.kernel.now, "net", f"drop {message} (dst crashed)")
+            return
+        self.kernel.trace.emit(self.kernel.now, "net", f"recv {message}")
+        self._endpoints[message.dst].deliver(message)

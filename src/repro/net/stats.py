@@ -1,0 +1,83 @@
+"""Network accounting.
+
+These counters are the primary measurement surface of experiments E2
+(no extra checkpoint messages), E3 (log/transfer volume) and E4
+(coordination overhead).  Messages are counted at send time; piggyback
+bytes are accounted separately from the carrying message's own payload.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.net.message import Message, MessageKind
+
+
+@dataclass
+class NetworkStats:
+    """Message and byte counters, split by kind and by protocol layer."""
+
+    messages_by_kind: Counter = field(default_factory=Counter)
+    bytes_by_kind: Counter = field(default_factory=Counter)
+    messages_by_layer: Counter = field(default_factory=Counter)
+    bytes_by_layer: Counter = field(default_factory=Counter)
+    piggyback_bytes: int = 0
+    piggyback_dummy_entries: int = 0
+    piggyback_ckp_sets: int = 0
+    dropped_to_crashed: int = 0
+    total_messages: int = 0
+    total_bytes: int = 0
+
+    def record_send(self, message: Message) -> None:
+        kind = message.kind
+        pay = message.payload_bytes()
+        pig = message.piggyback_bytes()
+        self.messages_by_kind[kind] += 1
+        self.bytes_by_kind[kind] += pay
+        self.messages_by_layer[message.layer] += 1
+        self.bytes_by_layer[message.layer] += pay
+        self.piggyback_bytes += pig
+        if message.piggyback is not None:
+            self.piggyback_dummy_entries += len(message.piggyback.dummies)
+            self.piggyback_ckp_sets += len(message.piggyback.ckp_sets)
+        self.total_messages += 1
+        self.total_bytes += pay + pig
+
+    def record_drop(self, message: Message) -> None:
+        self.dropped_to_crashed += 1
+
+    # -- convenience views used by experiments ---------------------------
+    @property
+    def coherence_messages(self) -> int:
+        return self.messages_by_layer["coherence"]
+
+    @property
+    def checkpoint_messages(self) -> int:
+        """Extra messages sent by the checkpoint layer (paper claims 0
+        during the failure-free period when piggybacking is enabled)."""
+        return self.messages_by_layer["checkpoint"]
+
+    @property
+    def recovery_messages(self) -> int:
+        return self.messages_by_layer["recovery"]
+
+    def messages_of(self, kind: MessageKind) -> int:
+        return self.messages_by_kind[kind]
+
+    def as_dict(self) -> dict:
+        """Flat summary used by reports and EXPERIMENTS.md rows."""
+        return {
+            "total_messages": self.total_messages,
+            "total_bytes": self.total_bytes,
+            "coherence_messages": self.coherence_messages,
+            "coherence_bytes": self.bytes_by_layer["coherence"],
+            "checkpoint_messages": self.checkpoint_messages,
+            "checkpoint_bytes": self.bytes_by_layer["checkpoint"],
+            "recovery_messages": self.recovery_messages,
+            "recovery_bytes": self.bytes_by_layer["recovery"],
+            "piggyback_bytes": self.piggyback_bytes,
+            "piggyback_dummy_entries": self.piggyback_dummy_entries,
+            "piggyback_ckp_sets": self.piggyback_ckp_sets,
+            "dropped_to_crashed": self.dropped_to_crashed,
+        }

@@ -1,0 +1,41 @@
+"""Simulated clock.
+
+The clock only moves when the kernel dispatches an event; simulated time is
+a float in arbitrary "time units" (the experiments interpret one unit as one
+millisecond, but nothing in the library depends on that).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class Clock:
+    """Monotonically advancing simulated time."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise SimulationError(f"clock cannot start at negative time {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time``.
+
+        Raises :class:`SimulationError` on any attempt to move backwards,
+        which would indicate a corrupted event queue.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"clock moving backwards: {self._now} -> {time}"
+            )
+        self._now = time
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Clock(now={self._now})"

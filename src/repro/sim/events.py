@@ -1,0 +1,107 @@
+"""Event objects and the deterministic event queue.
+
+Events scheduled for the same simulated time are dispatched in scheduling
+order (FIFO), which -- together with seeded RNG streams -- makes whole-system
+runs bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are cancellable: :meth:`cancel` marks the event dead and the
+    queue skips it at dispatch time (lazy deletion, the standard heapq
+    idiom).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "label")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...],
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will never fire."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        if not self.cancelled:
+            self.callback(*self.args)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time}, seq={self.seq}, {self.label!r}, {state})"
+
+
+class EventQueue:
+    """Min-heap of events ordered by (time, insertion sequence)."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: tuple[Any, ...] = (),
+        label: str = "",
+    ) -> Event:
+        if time < 0:
+            raise SimulationError(f"cannot schedule event at negative time {time}")
+        event = Event(time, next(self._counter), callback, args, label)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or None if empty.
+
+        Cancelled events are discarded transparently.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def notify_cancelled(self) -> None:
+        """Bookkeeping hook: a pushed event was cancelled externally."""
+        self._live -= 1
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0

@@ -1,0 +1,132 @@
+"""The discrete-event kernel.
+
+One :class:`Kernel` instance drives a whole simulated cluster: it owns the
+clock, the event queue, the RNG registry and the trace log.  Components
+schedule callbacks; the kernel dispatches them in deterministic
+(time, insertion) order until the queue drains, a time horizon is reached,
+or a stop condition fires.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.clock import Clock
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import RngRegistry
+from repro.sim.tracing import TraceLog
+
+
+class Kernel:
+    """Deterministic discrete-event simulation kernel."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        trace: Optional[TraceLog] = None,
+        max_events: int = 50_000_000,
+    ) -> None:
+        self.clock = Clock()
+        self.queue = EventQueue()
+        self.rng = RngRegistry(seed)
+        self.trace = trace if trace is not None else TraceLog(enabled=False)
+        self._max_events = max_events
+        self._dispatched = 0
+        self._stopped = False
+        self._stop_reason: Optional[str] = None
+        #: Called after each dispatched event; may call :meth:`stop`.
+        self.idle_hooks: list[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def dispatched(self) -> int:
+        """Total number of events dispatched so far."""
+        return self._dispatched
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} for {label or callback}")
+        return self.queue.push(self.clock.now + delay, callback, args, label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule {label or callback} in the past "
+                f"({time} < {self.clock.now})"
+            )
+        return self.queue.push(time, callback, args, label)
+
+    def call_soon(self, callback: Callable[..., None], *args: Any, label: str = "") -> Event:
+        """Schedule ``callback`` at the current time (after pending same-time events)."""
+        return self.queue.push(self.clock.now, callback, args, label)
+
+    # ------------------------------------------------------------------
+    # run loop
+    # ------------------------------------------------------------------
+    def stop(self, reason: str = "stopped") -> None:
+        """Request the run loop to stop after the current event."""
+        self._stopped = True
+        self._stop_reason = reason
+
+    @property
+    def stop_reason(self) -> Optional[str]:
+        return self._stop_reason
+
+    def step(self) -> bool:
+        """Dispatch one event.  Returns False when the queue is empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        self._dispatched += 1
+        if self._dispatched > self._max_events:
+            raise SimulationError(
+                f"event budget exhausted ({self._max_events} events) -- "
+                "likely a livelock in the simulated protocol"
+            )
+        event.fire()
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or stop() is called.
+
+        Returns the simulated time at which the run loop exited.  When
+        ``until`` is given and events remain beyond it, the clock is
+        advanced exactly to ``until``.
+        """
+        self._stopped = False
+        self._stop_reason = None
+        while not self._stopped:
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.clock.advance_to(until)
+                break
+            self.step()
+            for hook in self.idle_hooks:
+                hook()
+        if until is not None and self.clock.now < until and not self._stopped:
+            self.clock.advance_to(until)
+        return self.clock.now

@@ -1,0 +1,58 @@
+"""Named, independently seeded random streams.
+
+Every consumer of randomness (network jitter, each workload thread, the
+crash injector...) gets its own ``random.Random`` derived from the master
+seed and a stable stream name.  Streams are independent, so adding a new
+consumer never perturbs the draws seen by existing ones -- essential for
+reproducible experiments and for the paper's piece-wise-determinism
+assumption (a thread re-executed from the start makes the same draws).
+
+Stream derivation uses SHA-256 rather than ``hash()`` because Python string
+hashing is randomized per interpreter run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+class RngRegistry:
+    """Factory of deterministic named random streams."""
+
+    def __init__(self, seed: int) -> None:
+        self._seed = int(seed)
+        self._streams: dict[str, random.Random] = {}
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use.
+
+        Repeated calls with the same name return the *same* generator
+        object (it keeps its position), so a consumer can re-fetch its
+        stream without resetting it.
+        """
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = random.Random(self.derive_seed(name))
+            self._streams[name] = stream
+        return stream
+
+    def fresh_stream(self, name: str) -> random.Random:
+        """Return a *new* generator for ``name``, starting from its seed.
+
+        Used by deterministic replay: a recovering thread's RNG must restart
+        from the beginning of the stream, not continue from where the failed
+        incarnation left off.
+        """
+        stream = random.Random(self.derive_seed(name))
+        self._streams[name] = stream
+        return stream
+
+    def derive_seed(self, name: str) -> int:
+        """Stable 64-bit seed for stream ``name`` under the master seed."""
+        digest = hashlib.sha256(f"{self._seed}/{name}".encode()).digest()
+        return int.from_bytes(digest[:8], "big")

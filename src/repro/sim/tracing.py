@@ -1,0 +1,83 @@
+"""Structured trace log.
+
+Traces are the simulator's observability surface: every protocol layer
+appends :class:`TraceRecord` rows and tests/experiments filter them.  The
+log can be bounded (ring behaviour) for very long runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One trace row: simulated time, category, human message, fields."""
+
+    time: float
+    category: str
+    message: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.time:10.3f}] {self.category:<12} {self.message} {extra}".rstrip()
+
+
+class TraceLog:
+    """Append-only trace with optional size bound and category filter."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        max_records: Optional[int] = None,
+        categories: Optional[set[str]] = None,
+    ) -> None:
+        self.enabled = enabled
+        self._max = max_records
+        self._categories = categories
+        self._records: list[TraceRecord] = []
+        self._dropped = 0
+        #: Optional sink invoked on every accepted record (e.g. print).
+        self.sink: Optional[Callable[[TraceRecord], None]] = None
+
+    def emit(self, time: float, category: str, message: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        if self._categories is not None and category not in self._categories:
+            return
+        record = TraceRecord(time, category, message, fields)
+        if self._max is not None and len(self._records) >= self._max:
+            # Ring behaviour: drop the oldest half in one amortized batch.
+            keep = self._max // 2
+            self._dropped += len(self._records) - keep
+            self._records = self._records[-keep:]
+        self._records.append(record)
+        if self.sink is not None:
+            self.sink(record)
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        return self._records
+
+    @property
+    def dropped(self) -> int:
+        """Number of records discarded due to the size bound."""
+        return self._dropped
+
+    def filter(self, category: Optional[str] = None, contains: Optional[str] = None) -> Iterator[TraceRecord]:
+        """Iterate records matching a category and/or message substring."""
+        for record in self._records:
+            if category is not None and record.category != category:
+                continue
+            if contains is not None and contains not in record.message:
+                continue
+            yield record
+
+    def count(self, category: Optional[str] = None, contains: Optional[str] = None) -> int:
+        return sum(1 for _ in self.filter(category, contains))
+
+    def clear(self) -> None:
+        self._records = []
+        self._dropped = 0

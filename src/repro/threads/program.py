@@ -1,0 +1,75 @@
+"""Program abstraction.
+
+A :class:`Program` pairs a generator function with a name and parameters.
+The generator function receives a :class:`ProgramContext` and must be a
+*deterministic* function of that context: its only sources of
+nondeterminism are the values returned by acquire syscalls and the seeded
+``ctx.rng`` stream (which deterministic replay restarts from the
+beginning).  Programs must not keep references to mutable global state --
+the entry-consistency contract requires all inter-thread communication to
+go through shared objects.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Mapping
+
+from repro.threads.syscalls import Syscall
+from repro.types import ProcessId, Tid
+
+#: The generator type produced by program functions.
+ProgramGen = Generator[Syscall, Any, Any]
+
+#: A program body: ``def body(ctx): ... yield AcquireRead(...) ...``.
+ProgramFn = Callable[["ProgramContext"], ProgramGen]
+
+
+@dataclass(frozen=True)
+class ProgramContext:
+    """Everything a program may observe besides its acquires.
+
+    ``rng`` is a deterministic stream derived from the thread identifier;
+    a re-executed (recovering) thread receives a fresh stream that replays
+    the same draws.  ``params`` is the immutable parameter mapping given at
+    spawn time.
+    """
+
+    tid: Tid
+    params: Mapping[str, Any]
+    rng: random.Random
+
+    @property
+    def pid(self) -> ProcessId:
+        return self.tid.pid
+
+    def param(self, name: str, default: Any = None) -> Any:
+        return self.params.get(name, default)
+
+
+@dataclass(frozen=True)
+class Program:
+    """A named, parameterized thread program."""
+
+    name: str
+    body: ProgramFn
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def instantiate(self, ctx: ProgramContext) -> ProgramGen:
+        """Create a fresh generator for one (re-)execution of the program."""
+        return self.body(ctx)
+
+    def with_params(self, **params: Any) -> "Program":
+        merged = dict(self.params)
+        merged.update(params)
+        return Program(self.name, self.body, merged)
+
+
+def program(name: str, **params: Any) -> Callable[[ProgramFn], Program]:
+    """Decorator sugar: ``@program("sor-worker", rows=...)``."""
+
+    def wrap(fn: ProgramFn) -> Program:
+        return Program(name, fn, dict(params))
+
+    return wrap

@@ -1,0 +1,90 @@
+"""Syscall vocabulary yielded by thread programs.
+
+A program interacts with the system exclusively by yielding these objects;
+the value of the ``yield`` expression is the syscall's result:
+
+* ``value = yield AcquireRead("x")`` -- blocks until the acquire completes,
+  returns a private snapshot of the object's current version;
+* ``value = yield AcquireWrite("x")`` -- same, with exclusive access; the
+  returned copy may be mutated in place;
+* ``yield Release("x")`` -- releases a read acquire, or publishes the
+  mutated copy of a write acquire (a new version is produced);
+* ``yield Release("x", value=v)`` -- publishes ``v`` instead of the
+  acquired copy;
+* ``yield Compute(duration)`` -- consumes simulated time deterministically;
+* ``yield Log("msg", k=v)`` -- application trace point (no semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.types import AcquireType, ObjectId
+
+
+class Syscall:
+    """Marker base class for everything a program may yield."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class AcquireRead(Syscall):
+    """Acquire ``obj_id``'s synchronization object in shared (read) mode."""
+
+    obj_id: ObjectId
+
+    @property
+    def type(self) -> AcquireType:
+        return AcquireType.READ
+
+
+@dataclass(frozen=True, slots=True)
+class AcquireWrite(Syscall):
+    """Acquire ``obj_id``'s synchronization object in exclusive (write) mode."""
+
+    obj_id: ObjectId
+
+    @property
+    def type(self) -> AcquireType:
+        return AcquireType.WRITE
+
+
+@dataclass(frozen=True, slots=True)
+class Release(Syscall):
+    """Release ``obj_id``.
+
+    For a write acquire this produces a new object version from ``value``
+    (or from the acquired copy when ``value`` is omitted -- pass
+    ``use_acquired=True`` semantics via the default sentinel).
+    """
+
+    obj_id: ObjectId
+    value: Any = None
+    #: True when ``value`` was explicitly provided (None is a valid value).
+    has_value: bool = False
+
+    @staticmethod
+    def of(obj_id: ObjectId, value: Any) -> "Release":
+        """Release publishing an explicit ``value`` (even if it is None)."""
+        return Release(obj_id, value, True)
+
+
+@dataclass(frozen=True, slots=True)
+class Compute(Syscall):
+    """Consume ``duration`` units of simulated time."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"negative compute duration {self.duration}")
+
+
+@dataclass(frozen=True, slots=True)
+class Log(Syscall):
+    """Application-level trace point; semantically a no-op."""
+
+    message: str
+    fields: dict[str, Any] = field(default_factory=dict)

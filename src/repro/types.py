@@ -1,0 +1,231 @@
+"""Fundamental identifier and execution-point types (paper section 3).
+
+The paper builds everything on three notions:
+
+* a *process identifier* -- one DiSOM process per workstation;
+* a *thread identifier* ``tid`` composed of the process identifier and a
+  local thread identifier, so the process can always be recovered from the
+  tid;
+* an *execution point* ``ep = <tid, lt>`` pairing a thread with its logical
+  time, identifying a unique point in the system's execution.  Logical time
+  is incremented on every acquire.
+
+The strict and reflexive orderings ``ep_i < ep_j`` (paper's ``prec``) and
+``ep_i <= ep_j`` (paper's ``preceq``) are only defined between execution
+points of the *same* thread; comparing points of different threads is a
+programming error and raises ``ValueError`` rather than silently returning
+``False``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+#: Identifier of a DiSOM process (one per simulated workstation).
+ProcessId = int
+
+#: System-wide unique identifier of a shared data object.
+ObjectId = str
+
+
+class AcquireType(enum.Enum):
+    """Type of an acquire operation: read (shared) or write (exclusive).
+
+    Entry consistency's synchronization objects enforce concurrent-read
+    exclusive-write (CREW): many simultaneous readers or one writer.
+    """
+
+    READ = "R"
+    WRITE = "W"
+
+    @property
+    def is_write(self) -> bool:
+        return self is AcquireType.WRITE
+
+    @property
+    def is_read(self) -> bool:
+        return self is AcquireType.READ
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Tid:
+    """Unique thread identifier: (process identifier, local thread index).
+
+    The paper: "The tid is composed of the process identifier and a local
+    thread identifier.  Therefore, the process identifier can be obtained
+    from the tid."
+    """
+
+    pid: ProcessId
+    local: int
+
+    def __str__(self) -> str:
+        return f"t{self.pid}.{self.local}"
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionPoint:
+    """A unique execution point ``<tid, lt>`` (paper section 3).
+
+    ``lt`` is the thread's logical time, incremented on every acquire; the
+    acquire itself happens *at* the incremented value.
+    """
+
+    tid: Tid
+    lt: int
+
+    def __str__(self) -> str:
+        return f"<{self.tid}@{self.lt}>"
+
+    # -- orderings ---------------------------------------------------------
+    def _check_same_thread(self, other: "ExecutionPoint") -> None:
+        if self.tid != other.tid:
+            raise ValueError(
+                f"execution points of different threads are incomparable: "
+                f"{self} vs {other}"
+            )
+
+    def strictly_precedes(self, other: "ExecutionPoint") -> bool:
+        """The paper's ``prec``: same thread and strictly smaller lt."""
+        self._check_same_thread(other)
+        return self.lt < other.lt
+
+    def precedes(self, other: "ExecutionPoint") -> bool:
+        """The paper's ``preceq``: same thread and lt less than or equal.
+
+        The paper's definition section contains an obvious typo (both
+        relations written with ``<``); we take ``preceq`` to be the
+        reflexive closure, which is what sections 4.3/4.4 require.
+        """
+        self._check_same_thread(other)
+        return self.lt <= other.lt
+
+    def same_thread(self, other: "ExecutionPoint") -> bool:
+        return self.tid == other.tid
+
+    # Comparisons restricted to the same thread; used by sort keys instead.
+    def sort_key(self) -> tuple[ProcessId, int, int]:
+        """Total order usable for deterministic container ordering.
+
+        This is *not* the paper's (partial) precedence relation; it exists
+        only so data structures can be iterated deterministically.
+        """
+        return (self.tid.pid, self.tid.local, self.lt)
+
+
+def ep(pid: ProcessId, local: int, lt: int) -> ExecutionPoint:
+    """Convenience constructor used heavily by tests: ``ep(0, 1, 5)``."""
+    return ExecutionPoint(Tid(pid, local), lt)
+
+
+@dataclass(frozen=True, slots=True)
+class WaitObj:
+    """The ``waitObj`` field of the thread structure (paper figure 3).
+
+    Non-null while the thread has an outstanding acquire request of ``type``
+    for ``obj_id`` that has not completed.  Used during recovery to re-issue
+    acquire requests that may have been lost with the failed process.
+    """
+
+    obj_id: ObjectId
+    type: AcquireType
+    ep_acq: ExecutionPoint
+
+    def __str__(self) -> str:
+        return f"wait({self.obj_id},{self.type},{self.ep_acq})"
+
+
+@dataclass(frozen=True, slots=True)
+class Dependency:
+    """One ``depSet`` entry: ``<objId, type, ep_acq, ep_prd, P>`` (fig. 3).
+
+    Reading: a version of ``obj_id`` was acquired for ``type`` when the
+    acquiring thread's execution point was ``ep_acq``; the producer thread's
+    execution point was ``ep_prd``; the log entry lives in process ``p_log``.
+
+    For *local* acquires, ``ep_prd`` holds the object's ``epDep`` at acquire
+    time (the local event this acquire depends on) and ``p_log`` the process
+    where the dummy entry was eventually stored.
+    """
+
+    obj_id: ObjectId
+    type: AcquireType
+    ep_acq: ExecutionPoint
+    ep_prd: ExecutionPoint
+    p_log: ProcessId
+    #: True when this dependency describes a local acquire (dummy-logged).
+    local: bool = False
+
+    def with_p_log(self, p_log: ProcessId) -> "Dependency":
+        """Return a copy with the ``P`` field replaced.
+
+        Used when a dummy log entry is shipped to another process: the local
+        dependency's ``P`` field is updated to the identifier of the process
+        that now stores the entry (paper section 4.2, local acquire step 3).
+        """
+        return Dependency(self.obj_id, self.type, self.ep_acq, self.ep_prd,
+                          p_log, self.local)
+
+    def __str__(self) -> str:
+        kind = "local" if self.local else "remote"
+        return (f"dep({self.obj_id},{self.type},acq={self.ep_acq},"
+                f"prd={self.ep_prd},P={self.p_log},{kind})")
+
+
+def pid_of(point: ExecutionPoint) -> ProcessId:
+    """Process identifier embedded in an execution point's tid."""
+    return point.tid.pid
+
+
+#: Sentinel version number of an object that has never been written.
+INITIAL_VERSION = 0
+
+
+@dataclass(frozen=True, slots=True)
+class VersionId:
+    """Identifies one version of one object: ``(obj_id, version)``."""
+
+    obj_id: ObjectId
+    version: int
+
+    def __str__(self) -> str:
+        return f"{self.obj_id}:v{self.version}"
+
+
+class ObjectStatus(enum.Enum):
+    """The ``status`` field of the object structure (paper figure 2).
+
+    Describes how the local copy of the object is being used and which
+    accesses it permits.
+    """
+
+    #: No valid local copy; any access must go through the coherence protocol.
+    NO_ACCESS = "no-access"
+    #: Valid read-only copy (process is in the owner's copySet).
+    READ = "read"
+    #: Process owns the object; local copy is the last version.
+    OWNED = "owned"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class HoldState(enum.Enum):
+    """How the object is currently *held* by local threads (CREW state)."""
+
+    FREE = "free"
+    HELD_READ = "held-read"
+    HELD_WRITE = "held-write"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def format_optional_ep(point: Optional[ExecutionPoint]) -> str:
+    """Render an optional execution point for traces ('-' when absent)."""
+    return str(point) if point is not None else "-"

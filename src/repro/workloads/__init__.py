@@ -1,0 +1,39 @@
+"""Application workloads.
+
+The paper evaluates no named applications; this package provides the
+canonical early-90s DSM suite (successive over-relaxation, blocked matrix
+multiply, branch-and-bound TSP, barrier-phased n-body, a producer/consumer
+pipeline) plus a fully parameterized synthetic workload used by the
+experiment sweeps.  Every workload is written against the public
+entry-consistency API and runs unchanged on the checkpointed system and on
+every baseline.
+"""
+
+from repro.workloads.base import Workload, WorkloadResult
+from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.sor import SorWorkload
+from repro.workloads.matmul import MatmulWorkload
+from repro.workloads.tsp import TspWorkload
+from repro.workloads.nbody import NBodyWorkload
+from repro.workloads.pipeline import PipelineWorkload
+
+ALL_WORKLOADS = {
+    "synthetic": SyntheticWorkload,
+    "sor": SorWorkload,
+    "matmul": MatmulWorkload,
+    "tsp": TspWorkload,
+    "nbody": NBodyWorkload,
+    "pipeline": PipelineWorkload,
+}
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "MatmulWorkload",
+    "NBodyWorkload",
+    "PipelineWorkload",
+    "SorWorkload",
+    "SyntheticWorkload",
+    "TspWorkload",
+    "Workload",
+    "WorkloadResult",
+]

@@ -1,0 +1,93 @@
+"""Synchronization idioms built from entry-consistency primitives.
+
+Entry consistency offers only acquire/release on CREW synchronization
+objects; everything else -- barriers, work queues, condition-style waiting
+-- is built on top, exactly as applications on Midway/DiSOM had to.  These
+helpers are generator sub-programs used with ``yield from`` inside thread
+programs.
+
+All helpers are deterministic functions of the object versions they
+observe, preserving the piece-wise-determinism assumption: a re-executed
+thread that re-acquires the same versions spins the same number of times.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.threads.syscalls import AcquireRead, AcquireWrite, Compute, Release
+
+#: Default polling backoff for spin-style waiting (simulated time units).
+DEFAULT_BACKOFF = 2.0
+
+
+def wait_until(obj_id: str, predicate: Callable[[Any], bool],
+               backoff: float = DEFAULT_BACKOFF):
+    """Spin with read acquires until ``predicate(value)`` holds.
+
+    Returns the satisfying value.  Re-acquiring a cached read copy is a
+    *local* acquire (message-free) until a writer invalidates it, so
+    spinning is cheap on the coherence protocol -- but every poll is a
+    logged local acquire, which makes spin loops a good stress test for
+    the dummy-entry machinery.
+    """
+    while True:
+        value = yield AcquireRead(obj_id)
+        yield Release(obj_id)
+        if predicate(value):
+            return value
+        yield Compute(backoff)
+
+
+def barrier(obj_id: str, parties: int, backoff: float = DEFAULT_BACKOFF):
+    """Sense-reversing centralized barrier over one shared object.
+
+    The object holds ``[arrived, generation]``.  The last arriver resets
+    the count and bumps the generation; the others spin on the generation.
+    """
+    value = yield AcquireWrite(obj_id)
+    arrived, generation = value
+    arrived += 1
+    if arrived == parties:
+        yield Release.of(obj_id, [0, generation + 1])
+        return generation + 1
+    yield Release.of(obj_id, [arrived, generation])
+    final = yield from wait_until(
+        obj_id, lambda v: v[1] > generation, backoff=backoff
+    )
+    return final[1]
+
+
+def queue_pop(obj_id: str, backoff: float = DEFAULT_BACKOFF):
+    """Pop the head of a shared list; returns None when a sentinel None is
+    at the head (queue closed).  Blocks (spins) while the queue is empty."""
+    while True:
+        value = yield AcquireWrite(obj_id)
+        if value:
+            if value[0] is None:
+                # Leave the sentinel for the other consumers.
+                yield Release.of(obj_id, value)
+                return None
+            head = value[0]
+            yield Release.of(obj_id, value[1:])
+            return head
+        yield Release.of(obj_id, value)
+        yield Compute(backoff)
+
+
+def queue_push(obj_id: str, item: Any):
+    """Append ``item`` to a shared list queue."""
+    value = yield AcquireWrite(obj_id)
+    yield Release.of(obj_id, list(value) + [item])
+
+
+def queue_close(obj_id: str):
+    """Append the None sentinel, releasing all poppers."""
+    yield from queue_push(obj_id, None)
+
+
+def fetch_add(obj_id: str, delta: Any = 1):
+    """Atomic read-modify-write on a counter object; returns the old value."""
+    value = yield AcquireWrite(obj_id)
+    yield Release.of(obj_id, value + delta)
+    return value

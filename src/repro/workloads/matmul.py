@@ -1,0 +1,88 @@
+"""Blocked matrix multiply C = A x B.
+
+A is split into row-block objects (read by their assigned worker), B is a
+single read-shared object (every worker takes a read copy -- exercising
+copySets and invalidation-free sharing), and each worker write-acquires
+its C row-block exactly once.  Output is deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cluster.system import DisomSystem, RunResult
+from repro.threads.program import Program
+from repro.threads.syscalls import AcquireRead, AcquireWrite, Compute, Release
+from repro.workloads.base import Workload, WorkloadResult
+
+
+def _matmul_rows(a_block, b):
+    inner = len(b)
+    cols = len(b[0])
+    out = []
+    for row in a_block:
+        out_row = []
+        for c in range(cols):
+            acc = 0
+            for k in range(inner):
+                acc += row[k] * b[k][c]
+            out_row.append(acc)
+        out.append(out_row)
+    return out
+
+
+def _matmul_body(ctx):
+    w = ctx.param("worker")
+    compute = ctx.param("compute")
+    a_block = yield AcquireRead(f"mm.a.{w}")
+    yield Release(f"mm.a.{w}")
+    b = yield AcquireRead("mm.b")
+    yield Release("mm.b")
+    result = _matmul_rows(a_block, b)
+    yield Compute(compute)
+    yield AcquireWrite(f"mm.c.{w}")
+    yield Release.of(f"mm.c.{w}", result)
+    return len(result)
+
+
+class MatmulWorkload(Workload):
+    """See module docstring."""
+
+    name = "matmul"
+
+    @classmethod
+    def default_params(cls) -> dict[str, Any]:
+        return {"rows_per_block": 3, "inner": 6, "cols": 5, "compute": 4.0}
+
+    def _matrices(self, workers: int):
+        rows = workers * self.param("rows_per_block")
+        inner = self.param("inner")
+        cols = self.param("cols")
+        a = [[(r * 7 + k * 3 + 1) % 11 for k in range(inner)] for r in range(rows)]
+        b = [[(k * 5 + c * 2 + 2) % 13 for c in range(cols)] for k in range(inner)]
+        return a, b
+
+    def setup(self, system: DisomSystem) -> None:
+        workers = system.config.processes
+        a, b = self._matrices(workers)
+        per = self.param("rows_per_block")
+        # B lives on process 0; everyone else pulls a read copy.
+        system.add_object("mm.b", initial=b, home=0)
+        for w in range(workers):
+            system.add_object(f"mm.a.{w}", initial=a[w * per:(w + 1) * per], home=w)
+            system.add_object(f"mm.c.{w}", initial=None, home=w)
+            system.spawn(w, Program("matmul-worker", _matmul_body, {
+                "worker": w, "compute": self.param("compute"),
+            }))
+
+    def verify(self, result: RunResult) -> WorkloadResult:
+        workers = len([k for k in result.final_objects if k.startswith("mm.a.")])
+        a, b = self._matrices(workers)
+        per = self.param("rows_per_block")
+        issues = []
+        for w in range(workers):
+            expected = _matmul_rows(a[w * per:(w + 1) * per], b)
+            actual = result.final_objects.get(f"mm.c.{w}")
+            if actual != expected:
+                issues.append(f"C block {w}: {actual} != {expected}")
+        return WorkloadResult(ok=not issues, issues=issues[:3])

@@ -1,0 +1,132 @@
+"""Barrier-phased n-body (gravitational) simulation.
+
+Bodies are partitioned into per-process block objects, double-buffered
+like the SOR kernel: each step every worker read-acquires *all* current
+blocks (all-to-all read sharing -- large copySets), integrates its own
+bodies, writes its next-parity block, and meets at a barrier.  The final
+positions are a deterministic function of the initial conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cluster.system import DisomSystem, RunResult
+from repro.threads.program import Program
+from repro.threads.syscalls import AcquireRead, AcquireWrite, Compute, Release
+from repro.workloads.base import Workload, WorkloadResult
+from repro.workloads.lib import barrier
+
+_G = 0.05
+_DT = 0.1
+_SOFTENING = 0.5
+
+
+def _initial_bodies(workers: int, per_block: int) -> list[list[list[float]]]:
+    """Deterministic initial [x, y, vx, vy, mass] per body, per block."""
+    blocks = []
+    index = 0
+    for _ in range(workers):
+        block = []
+        for _ in range(per_block):
+            block.append([
+                float((index * 13) % 23) - 11.0,
+                float((index * 7) % 19) - 9.0,
+                0.0,
+                0.0,
+                1.0 + (index % 3),
+            ])
+            index += 1
+        blocks.append(block)
+    return blocks
+
+
+def _advance(block, all_bodies):
+    out = []
+    for body in block:
+        x, y, vx, vy, mass = body
+        ax = ay = 0.0
+        for other in all_bodies:
+            dx = other[0] - x
+            dy = other[1] - y
+            dist_sq = dx * dx + dy * dy + _SOFTENING
+            inv = _G * other[4] / (dist_sq ** 1.5)
+            ax += dx * inv
+            ay += dy * inv
+        nvx, nvy = vx + ax * _DT, vy + ay * _DT
+        out.append([x + nvx * _DT, y + nvy * _DT, nvx, nvy, mass])
+    return out
+
+
+def _reference(blocks, steps):
+    for _ in range(steps):
+        all_bodies = [b for block in blocks for b in block]
+        blocks = [_advance(block, all_bodies) for block in blocks]
+    return blocks
+
+
+def _nbody_body(ctx):
+    w = ctx.param("worker")
+    workers = ctx.param("workers")
+    steps = ctx.param("steps")
+    compute = ctx.param("compute_per_step")
+    for step in range(steps):
+        cur, nxt = step % 2, (step + 1) % 2
+        all_bodies = []
+        my_block = None
+        for other in range(workers):
+            block = yield AcquireRead(f"nb.{cur}.{other}")
+            yield Release(f"nb.{cur}.{other}")
+            all_bodies.extend(block)
+            if other == w:
+                my_block = block
+        new_block = _advance(my_block, all_bodies)
+        yield Compute(compute)
+        yield AcquireWrite(f"nb.{nxt}.{w}")
+        yield Release.of(f"nb.{nxt}.{w}", new_block)
+        yield from barrier("nb.barrier", workers)
+    return "done"
+
+
+class NBodyWorkload(Workload):
+    """See module docstring."""
+
+    name = "nbody"
+
+    @classmethod
+    def default_params(cls) -> dict[str, Any]:
+        return {"bodies_per_block": 3, "steps": 3, "compute_per_step": 4.0}
+
+    def setup(self, system: DisomSystem) -> None:
+        workers = system.config.processes
+        blocks = _initial_bodies(workers, self.param("bodies_per_block"))
+        for w in range(workers):
+            system.add_object(f"nb.0.{w}", initial=blocks[w], home=w)
+            system.add_object(f"nb.1.{w}",
+                              initial=[b[:] for b in blocks[w]], home=w)
+        system.add_object("nb.barrier", initial=[0, 0], home=0)
+        for w in range(workers):
+            system.spawn(w, Program("nbody-worker", _nbody_body, {
+                "worker": w,
+                "workers": workers,
+                "steps": self.param("steps"),
+                "compute_per_step": self.param("compute_per_step"),
+            }))
+
+    def verify(self, result: RunResult) -> WorkloadResult:
+        workers = len([k for k in result.final_objects if k.startswith("nb.0.")])
+        expected = _reference(
+            _initial_bodies(workers, self.param("bodies_per_block")),
+            self.param("steps"),
+        )
+        parity = self.param("steps") % 2
+        issues = []
+        for w in range(workers):
+            actual = result.final_objects.get(f"nb.{parity}.{w}")
+            if actual is None:
+                issues.append(f"missing block {w}")
+                continue
+            for i, (a, e) in enumerate(zip(actual, expected[w])):
+                if any(abs(av - ev) > 1e-9 for av, ev in zip(a, e)):
+                    issues.append(f"block {w} body {i}: {a} != {e}")
+        return WorkloadResult(ok=not issues, issues=issues[:3])

@@ -1,0 +1,128 @@
+"""Parameterized synthetic workload.
+
+The workhorse of the experiment sweeps: every knob that matters to the
+checkpoint protocol is a parameter --
+
+* ``objects`` / ``object_size``: how much state each log entry carries;
+* ``read_ratio``: read vs write acquires (writes create log entries);
+* ``locality``: probability of immediately re-acquiring the same object
+  (local acquires create *dummy* log entries);
+* ``rounds`` / compute times: run length and interleaving;
+* ``hot_fraction``: skew of accesses towards a hot subset of objects
+  (contention, ownership migration).
+
+Writes are commutative increments, so the final value of every object is
+exactly its total number of writes -- deterministic across interleavings,
+which is what the Theorem-1 output-equivalence experiments need.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cluster.system import DisomSystem, RunResult
+from repro.threads.program import Program
+from repro.threads.syscalls import AcquireRead, AcquireWrite, Compute, Release
+from repro.workloads.base import Workload, WorkloadResult
+
+
+def _synthetic_body(ctx):
+    rng = ctx.rng
+    objs = ctx.param("objects_list")
+    hot = ctx.param("hot_list")
+    rounds = ctx.param("rounds")
+    read_ratio = ctx.param("read_ratio")
+    locality = ctx.param("locality")
+    hot_bias = ctx.param("hot_bias")
+    compute_lo, compute_hi = ctx.param("compute_range")
+    writes = 0
+    checksum = 0
+    for _ in range(rounds):
+        pool = hot if (hot and rng.random() < hot_bias) else objs
+        obj = pool[rng.randrange(len(pool))]
+        if rng.random() < read_ratio:
+            value = yield AcquireRead(obj)
+            checksum += value["count"]
+            yield Compute(rng.uniform(compute_lo, compute_hi))
+            yield Release(obj)
+        else:
+            value = yield AcquireWrite(obj)
+            value["count"] += 1
+            value["writer"] = str(ctx.tid)
+            yield Compute(rng.uniform(compute_lo, compute_hi))
+            yield Release.of(obj, value)
+            writes += 1
+        while rng.random() < locality:
+            # Local re-acquire burst: exercises dummy log entries.
+            value = yield AcquireRead(obj)
+            checksum += value["count"]
+            yield Release(obj)
+            if rng.random() < 0.5:
+                break
+    return {"writes": writes, "checksum": checksum}
+
+
+class SyntheticWorkload(Workload):
+    """See module docstring."""
+
+    name = "synthetic"
+
+    @classmethod
+    def default_params(cls) -> dict[str, Any]:
+        return {
+            "objects": 6,
+            "object_size": 64,       # bytes of payload per object
+            "threads_per_process": 1,
+            "rounds": 15,
+            "read_ratio": 0.5,
+            "locality": 0.3,
+            "hot_fraction": 0.34,
+            "hot_bias": 0.5,
+            "compute_range": (0.5, 2.0),
+        }
+
+    def object_ids(self) -> list[str]:
+        return [f"obj{i}" for i in range(self.param("objects"))]
+
+    def setup(self, system: DisomSystem) -> None:
+        objs = self.object_ids()
+        nproc = system.config.processes
+        payload_pad = "x" * self.param("object_size")
+        for i, obj in enumerate(objs):
+            system.add_object(
+                obj,
+                initial={"count": 0, "writer": "", "pad": payload_pad},
+                home=i % nproc,
+            )
+        hot_count = max(1, int(len(objs) * self.param("hot_fraction")))
+        program = Program(
+            "synthetic",
+            _synthetic_body,
+            {
+                "objects_list": objs,
+                "hot_list": objs[:hot_count],
+                "rounds": self.param("rounds"),
+                "read_ratio": self.param("read_ratio"),
+                "locality": self.param("locality"),
+                "hot_bias": self.param("hot_bias"),
+                "compute_range": self.param("compute_range"),
+            },
+        )
+        for pid in range(nproc):
+            for _ in range(self.param("threads_per_process")):
+                system.spawn(pid, program)
+
+    def verify(self, result: RunResult) -> WorkloadResult:
+        issues: list[str] = []
+        total_writes = sum(
+            r["writes"] for r in result.thread_results.values()
+            if isinstance(r, dict)
+        )
+        total_count = sum(
+            value["count"] for value in result.final_objects.values()
+        )
+        if total_writes != total_count:
+            issues.append(
+                f"sum of object counts {total_count} != total writes {total_writes}"
+            )
+        return WorkloadResult(ok=not issues, issues=issues)

@@ -1,0 +1,128 @@
+"""Branch-and-bound travelling salesman.
+
+The motivating irregular workload: a shared work queue of first-level
+branches, a shared global best bound that workers read (cheaply, via read
+copies) and improve (rarely, via write acquires).  The *final* best tour
+cost is the deterministic optimum even though the division of work is
+timing-dependent -- exactly the property the recovery experiments need.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.cluster.system import DisomSystem, RunResult
+from repro.threads.program import Program
+from repro.threads.syscalls import AcquireRead, AcquireWrite, Compute, Release
+from repro.workloads.base import Workload, WorkloadResult
+from repro.workloads.lib import fetch_add, queue_pop
+
+
+def _distance_matrix(n: int) -> list[list[int]]:
+    """Deterministic pseudo-random symmetric distances."""
+    dist = [[0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = ((i * 37 + j * 101) % 47) + 3
+            dist[i][j] = dist[j][i] = d
+    return dist
+
+
+def _best_cost_bruteforce(dist: list[list[int]]) -> int:
+    n = len(dist)
+    best = None
+    for perm in itertools.permutations(range(1, n)):
+        cost = dist[0][perm[0]]
+        for a, b in zip(perm, perm[1:]):
+            cost += dist[a][b]
+        cost += dist[perm[-1]][0]
+        if best is None or cost < best:
+            best = cost
+    return best
+
+
+def _search(dist, path, visited, cost, bound):
+    """Sequential DFS below one branch; returns the best cost found under
+    the given bound (pure function -- deterministic)."""
+    n = len(dist)
+    if len(path) == n:
+        total = cost + dist[path[-1]][0]
+        return total if total < bound else bound
+    last = path[-1]
+    for city in range(1, n):
+        if city in visited:
+            continue
+        nxt = cost + dist[last][city]
+        if nxt >= bound:
+            continue
+        visited.add(city)
+        path.append(city)
+        bound = _search(dist, path, visited, nxt, bound)
+        path.pop()
+        visited.discard(city)
+    return bound
+
+
+def _tsp_body(ctx):
+    compute = ctx.param("compute_per_task")
+    dist = yield AcquireRead("tsp.dist")
+    yield Release("tsp.dist")
+    n = len(dist)
+    total_tasks = n - 1
+    processed = 0
+    while True:
+        task = yield from queue_pop("tsp.queue")
+        if task is None:
+            break
+        first = task
+        best = yield AcquireRead("tsp.best")
+        yield Release("tsp.best")
+        improved = _search(
+            dist, [0, first], {0, first}, dist[0][first], best
+        )
+        yield Compute(compute)
+        if improved < best:
+            current = yield AcquireWrite("tsp.best")
+            yield Release.of("tsp.best", min(current, improved))
+        processed += 1
+        done = yield from fetch_add("tsp.done", 1)
+        if done + 1 == total_tasks:
+            # Last task overall: close the queue for everyone.
+            queue = yield AcquireWrite("tsp.queue")
+            yield Release.of("tsp.queue", list(queue) + [None])
+    return processed
+
+
+class TspWorkload(Workload):
+    """See module docstring."""
+
+    name = "tsp"
+
+    @classmethod
+    def default_params(cls) -> dict[str, Any]:
+        return {"cities": 7, "compute_per_task": 5.0}
+
+    def setup(self, system: DisomSystem) -> None:
+        n = self.param("cities")
+        dist = _distance_matrix(n)
+        system.add_object("tsp.dist", initial=dist, home=0)
+        system.add_object("tsp.queue", initial=list(range(1, n)), home=0)
+        system.add_object("tsp.best", initial=10 ** 9, home=0)
+        system.add_object("tsp.done", initial=0, home=0)
+        for pid in range(system.config.processes):
+            system.spawn(pid, Program("tsp-worker", _tsp_body, {
+                "compute_per_task": self.param("compute_per_task"),
+            }))
+
+    def verify(self, result: RunResult) -> WorkloadResult:
+        dist = _distance_matrix(self.param("cities"))
+        optimum = _best_cost_bruteforce(dist)
+        best = result.final_objects.get("tsp.best")
+        issues = []
+        if best != optimum:
+            issues.append(f"best tour cost {best} != optimum {optimum}")
+        remaining = [t for t in result.final_objects.get("tsp.queue", []) if t is not None]
+        if remaining:
+            issues.append(f"unprocessed tasks left in queue: {remaining}")
+        return WorkloadResult(ok=not issues, issues=issues)

@@ -1,0 +1,115 @@
+"""Integration tests for Theorem 2: "In the event of multiple failures,
+either the system is brought to a consistent state or the application is
+aborted." (paper section 4.5)"""
+
+import pytest
+
+from tests.conftest import counter_system, make_system
+from repro.workloads import SyntheticWorkload
+
+
+def run_multi(crashes, seed=7, processes=4, rounds=10, interval=40.0,
+              spare_nodes=4):
+    baseline = counter_system(processes=processes, rounds=rounds, seed=seed,
+                              interval=interval, spare_nodes=spare_nodes)
+    base_result = baseline.run()
+    system = counter_system(processes=processes, rounds=rounds, seed=seed,
+                            interval=interval, spare_nodes=spare_nodes)
+    for pid, when in crashes:
+        system.inject_crash(pid, at_time=when)
+    result = system.run()
+    return base_result, result, system
+
+
+class TestTheorem2:
+    @pytest.mark.parametrize("crashes", [
+        [(0, 20.0), (1, 20.0)],
+        [(1, 15.0), (2, 18.0)],
+        [(0, 30.0), (3, 32.0)],
+        [(0, 10.0), (1, 10.0), (2, 10.0)],
+    ])
+    def test_consistent_or_aborted(self, crashes):
+        base, result, _ = run_multi(crashes)
+        if result.aborted:
+            assert result.abort_reason  # the designed outcome
+        else:
+            assert result.completed
+            assert result.final_objects == base.final_objects
+            assert not result.invariant_violations
+
+    def test_simultaneous_crash_of_all_writers_synthetic(self):
+        workload = SyntheticWorkload(rounds=12, objects=5)
+        baseline = make_system(processes=4, seed=21, interval=30.0,
+                               spare_nodes=4)
+        workload.setup(baseline)
+        base = baseline.run()
+
+        workload2 = SyntheticWorkload(rounds=12, objects=5)
+        system = make_system(processes=4, seed=21, interval=30.0,
+                             spare_nodes=4)
+        workload2.setup(system)
+        system.inject_crash(0, at_time=25.0)
+        system.inject_crash(2, at_time=25.0)
+        result = system.run()
+        if not result.aborted:
+            assert result.completed
+            check = workload2.verify(result)
+            assert check.ok, check.issues
+            assert not result.invariant_violations
+
+    def test_abort_reaches_conclusion_quickly(self):
+        # Whatever the outcome, the run terminates (no hang).
+        _, result, _ = run_multi([(0, 12.0), (1, 13.0)], interval=200.0)
+        assert result.aborted or result.completed
+
+    def test_detection_is_conservative_not_lossy(self):
+        """Sweep several multi-crash schedules; every non-aborted run must
+        be fully consistent -- 'detects all situations that can lead to an
+        inconsistent state'."""
+        outcomes = {"recovered": 0, "aborted": 0}
+        for seed in (1, 2, 3):
+            for crashes in ([(0, 18.0), (2, 22.0)], [(1, 35.0), (3, 35.0)]):
+                base, result, _ = run_multi(crashes, seed=seed)
+                if result.aborted:
+                    outcomes["aborted"] += 1
+                else:
+                    outcomes["recovered"] += 1
+                    assert result.final_objects == base.final_objects
+                    assert not result.invariant_violations
+        assert sum(outcomes.values()) == 6
+
+    def test_sequential_distant_failures_both_recover(self):
+        # Far-apart failures behave like two single failures.
+        base, result, _ = run_multi([(1, 15.0), (2, 120.0)], rounds=14,
+                                    interval=20.0)
+        assert not result.aborted
+        assert result.completed
+        assert result.final_objects == base.final_objects
+        assert len(result.recoveries) == 2
+
+    def test_survivors_never_roll_back_even_multi(self):
+        _, result, _ = run_multi([(0, 20.0), (1, 22.0)])
+        assert result.metrics.total_survivor_rollbacks == 0
+
+
+class TestRepeatedFailure:
+    def test_recovered_process_can_crash_again(self):
+        baseline = counter_system(processes=3, rounds=10, seed=9,
+                                  interval=20.0, spare_nodes=4)
+        base = baseline.run()
+
+        system = counter_system(processes=3, rounds=10, seed=9,
+                                interval=20.0, spare_nodes=4)
+        system.inject_crash(1, at_time=15.0)
+
+        # Crash P1 again well after its first recovery completes.
+        def second_crash():
+            process = system.processes[1]
+            if process.alive and process.recovery_manager is None:
+                system.crash_now(1)
+
+        system.kernel.schedule_at(120.0, second_crash)
+        result = system.run()
+        if not result.aborted:
+            assert result.completed
+            assert result.final_objects == base.final_objects

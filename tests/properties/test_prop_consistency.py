@@ -1,0 +1,116 @@
+"""Property-based tests for the abstract consistency checker and the
+detection primitives (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.checkpoint.detection import find_prefix, find_unrecoverable
+from repro.memory.consistency import (
+    AbstractAcquire,
+    Cut,
+    History,
+    check_consistency,
+)
+from repro.types import AcquireType, Dependency, ep
+
+
+# ---------------------------------------------------------------------------
+# consistency-checker properties
+# ---------------------------------------------------------------------------
+@st.composite
+def histories(draw):
+    """Random multi-thread histories with version numbers derived from a
+    global per-object write order (so the full cut is always realizable)."""
+    n_threads = draw(st.integers(1, 4))
+    n_objects = draw(st.integers(1, 3))
+    versions = {f"o{i}": 0 for i in range(n_objects)}
+    history = History()
+    steps = draw(st.integers(0, 10))
+    for _ in range(steps):
+        thread = f"t{draw(st.integers(0, n_threads - 1))}"
+        obj = f"o{draw(st.integers(0, n_objects - 1))}"
+        write = draw(st.booleans())
+        history.add(thread, AbstractAcquire(
+            obj, versions[obj], AcquireType.WRITE if write else AcquireType.READ))
+        if write:
+            versions[obj] += 1
+    return history
+
+
+@st.composite
+def history_and_cut(draw):
+    history = draw(histories())
+    positions = {
+        name: draw(st.integers(0, len(seq)))
+        for name, seq in history.threads.items()
+    }
+    return history, Cut(positions)
+
+
+class TestConsistencyProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(histories())
+    def test_full_cut_of_realizable_history_is_consistent(self, history):
+        verdict = check_consistency(history, history.full_cut())
+        assert verdict.consistent, verdict.reason
+
+    @settings(max_examples=60, deadline=None)
+    @given(histories())
+    def test_empty_cut_is_consistent(self, history):
+        cut = Cut({name: 0 for name in history.thread_names()})
+        assert check_consistency(history, cut).consistent
+
+    @settings(max_examples=80, deadline=None)
+    @given(history_and_cut())
+    def test_losing_an_acquired_version_breaks_consistency(self, data):
+        history, cut = data
+        acquired = [
+            (a.obj_id, a.version)
+            for name in history.thread_names()
+            for a in cut.included(history, name)
+            if a.version > 0
+        ]
+        verdict = check_consistency(history, cut)
+        if verdict.consistent and acquired:
+            lost = acquired[0]
+            assert not check_consistency(history, cut, lost_versions=[lost]).consistent
+
+    @settings(max_examples=80, deadline=None)
+    @given(history_and_cut())
+    def test_verdict_is_deterministic(self, data):
+        history, cut = data
+        first = check_consistency(history, cut)
+        second = check_consistency(history, cut)
+        assert first.consistent == second.consistent
+
+
+# ---------------------------------------------------------------------------
+# prefix / detection properties
+# ---------------------------------------------------------------------------
+class TestPrefixProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 20), st.sets(st.integers(1, 30), max_size=15))
+    def test_prefix_is_contiguous_and_maximal(self, ckpt_lt, raw_lts):
+        lts = sorted(lt for lt in raw_lts if lt > ckpt_lt)
+        result = find_prefix(ckpt_lt, lts)
+        kept = lts[:result.kept]
+        # Contiguity from ckpt_lt + 1.
+        assert kept == list(range(ckpt_lt + 1, ckpt_lt + 1 + result.kept))
+        # Maximality: the next element (if any) does not extend the run.
+        if result.kept < len(lts):
+            assert lts[result.kept] != ckpt_lt + result.kept + 1
+        assert result.resume_lt == ckpt_lt + result.kept
+        assert result.kept + result.discarded == len(lts)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 10),
+           st.lists(st.integers(0, 30), max_size=10))
+    def test_unrecoverable_detection_is_threshold(self, resume_lt, dep_lts):
+        deps = [
+            Dependency("o", AcquireType.READ, ep(1, 0, 1), ep(0, 0, lt), 0)
+            for lt in sorted(dep_lts)
+        ]
+        bad = find_unrecoverable(deps, resume_lt)
+        if any(lt > resume_lt for lt in dep_lts):
+            assert bad is not None and bad.ep_prd.lt > resume_lt
+        else:
+            assert bad is None

@@ -1,0 +1,65 @@
+"""Unit tests for metrics aggregation and table rendering."""
+
+from repro.analysis.metrics import ProcessMetrics, SystemMetrics
+from repro.analysis.report import Table, format_table
+
+
+class TestProcessMetrics:
+    def test_recovery_duration(self):
+        metrics = ProcessMetrics()
+        assert metrics.recovery_duration is None
+        metrics.recovery_started_at = 10.0
+        metrics.recovery_finished_at = 35.0
+        assert metrics.recovery_duration == 25.0
+
+    def test_as_dict_contains_all_counters(self):
+        data = ProcessMetrics().as_dict()
+        for key in ("local_acquires", "log_bytes_created", "checkpoints",
+                    "survivor_rollbacks", "replayed_acquires"):
+            assert key in data
+
+
+class TestSystemMetrics:
+    def test_totals(self):
+        a, b = ProcessMetrics(), ProcessMetrics()
+        a.local_acquires = 3
+        b.local_acquires = 4
+        a.log_bytes_created = 100
+        system = SystemMetrics(per_process={0: a, 1: b})
+        assert system.total_local_acquires == 7
+        assert system.total_log_bytes == 100
+        assert system.as_dict()["local_acquires"] == 7
+
+
+class TestReport:
+    def test_alignment_and_title(self):
+        table = Table("demo", ["name", "value"])
+        table.add_row("alpha", 1)
+        table.add_row("b", 123456)
+        text = table.render()
+        assert "== demo ==" in text
+        assert "123,456" in text
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[1:4]}) == 1  # aligned
+
+    def test_row_width_checked(self):
+        table = Table("t", ["a", "b"])
+        try:
+            table.add_row(1)
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+    def test_formatting_rules(self):
+        text = format_table("t", ["c"], [[None], [True], [0.5], [1234.0], [0.0]])
+        assert "-" in text
+        assert "yes" in text
+        assert "0.5" in text
+        assert "1,234" in text
+
+    def test_notes(self):
+        table = Table("t", ["c"])
+        table.add_row(1)
+        table.add_note("hello note")
+        assert "hello note" in table.render()

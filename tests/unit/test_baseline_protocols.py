@@ -1,0 +1,140 @@
+"""Unit-level tests of the baseline protocol mechanics."""
+
+import pytest
+
+from repro.baselines import (
+    CoordinatedProtocol,
+    JanssensFuchsProtocol,
+    NullProtocol,
+    ReceiverMessageLogging,
+    RichardSinghalProtocol,
+    SenderMessageLogging,
+    StummZhouProtocol,
+)
+from repro.baselines.base import FaultToleranceProtocol
+from repro.net.message import Message, MessageKind
+
+from tests.conftest import counter_system, incrementer, make_system, reader
+
+
+class TestInterfaceDefaults:
+    def test_base_defaults_are_noops(self):
+        class Host:
+            pid = 0
+
+        protocol = FaultToleranceProtocol(Host())
+        assert protocol.collect_piggyback(1) == ([], [])
+        assert protocol.filter_incoming(
+            Message(1, 0, MessageKind.APP)) is True
+        assert not protocol.handles_kind(MessageKind.COORD_CKPT_REQUEST)
+        assert protocol.overhead_summary() == {}
+        protocol.on_piggyback(1, [], [])
+        protocol.on_start()
+        protocol.stop_timer()
+
+    def test_names_and_recovery_flags(self):
+        assert NullProtocol.name == "none"
+        assert not NullProtocol.supports_recovery
+        assert CoordinatedProtocol.supports_recovery
+        for cls in (RichardSinghalProtocol, StummZhouProtocol,
+                    ReceiverMessageLogging, SenderMessageLogging,
+                    JanssensFuchsProtocol):
+            assert not cls.supports_recovery
+
+
+class TestRichardSinghalMechanics:
+    def test_page_floor_dominates_small_objects(self):
+        system = make_system(
+            processes=2, interval=None,
+            protocol_factory=RichardSinghalProtocol.factory(page_size=8192))
+        system.add_object("tiny", initial=1, home=0)
+        system.spawn(1, reader("tiny", rounds=1))
+        result = system.run()
+        protocol = system.processes[1].checkpoint_protocol
+        assert protocol.logged_entries_total == 1
+        assert protocol.logged_bytes_total >= 8192
+
+    def test_no_flush_without_modified_transfer(self):
+        system = make_system(
+            processes=2, interval=None,
+            protocol_factory=RichardSinghalProtocol.factory(
+                checkpoint_interval=None))
+        system.add_object("x", initial=1, home=0)
+        system.spawn(1, reader("x", rounds=2))
+        result = system.run()
+        flushes = sum(p.checkpoint_protocol.stable_flushes
+                      for p in system.processes.values())
+        assert flushes == 0  # reads only: nothing dirty was transferred
+
+
+class TestStummZhouMechanics:
+    def test_dirty_set_cleared_after_ship(self):
+        system = make_system(
+            processes=2, interval=None,
+            protocol_factory=StummZhouProtocol.factory(page_size=1024))
+        system.add_object("x", initial=0, home=0)
+        system.spawn(0, incrementer("x", rounds=3, gap=4.0))
+        system.spawn(1, reader("x", rounds=3, gap=4.0))
+        result = system.run()
+        protocol = system.processes[0].checkpoint_protocol
+        # Each shipped replica corresponds to one dirtying write at most.
+        assert 1 <= protocol.replication_pages <= 3
+        assert not protocol._dirty
+
+
+class TestCoordinatedMechanics:
+    def test_round_completes_and_epoch_advances(self):
+        system = counter_system(
+            processes=3, rounds=10, interval=None,
+            protocol_factory=CoordinatedProtocol.factory(interval=15.0))
+        result = system.run()
+        assert result.completed
+        epochs = {p.checkpoint_protocol.epoch
+                  for p in system.processes.values()}
+        assert len(epochs) == 1  # lockstep
+        assert epochs.pop() >= 1
+        coordinator = system.processes[0].checkpoint_protocol
+        assert coordinator.rounds_completed >= 1
+
+    def test_snapshots_keep_last_two_epochs(self):
+        system = counter_system(
+            processes=2, rounds=12, interval=None,
+            protocol_factory=CoordinatedProtocol.factory(interval=10.0))
+        system.run()
+        store = system._coord_snapshots
+        per_pid = {}
+        for (pid, epoch) in store:
+            per_pid.setdefault(pid, []).append(epoch)
+        for epochs in per_pid.values():
+            assert len(epochs) <= 2
+
+    def test_message_kinds_routed(self):
+        protocol_cls = CoordinatedProtocol
+        for kind in (MessageKind.COORD_CKPT_REQUEST,
+                     MessageKind.COORD_CKPT_READY,
+                     MessageKind.COORD_CKPT_COMMIT,
+                     MessageKind.COORD_CKPT_ACK):
+            class Host:
+                pid = 0
+
+            assert protocol_cls(Host()).handles_kind(kind)
+
+
+class TestMessageLoggingMechanics:
+    def test_receiver_counts_equal_deliveries(self):
+        system = counter_system(
+            processes=2, rounds=4, interval=None,
+            protocol_factory=ReceiverMessageLogging.factory())
+        result = system.run()
+        logged = sum(p.checkpoint_protocol.logged_messages
+                     for p in system.processes.values())
+        delivered = result.net["total_messages"] - result.net["dropped_to_crashed"]
+        assert logged == delivered
+
+    def test_sender_never_touches_stable_storage(self):
+        system = counter_system(
+            processes=2, rounds=4, interval=None,
+            protocol_factory=SenderMessageLogging.factory())
+        result = system.run()
+        assert result.stable_writes == 0
+        assert result.metrics.total_log_bytes > 0

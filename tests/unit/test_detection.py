@@ -1,0 +1,72 @@
+"""Unit tests for multiple-failure detection (paper section 4.5)."""
+
+import pytest
+
+from repro.checkpoint.detection import (
+    DetectionReport,
+    PrefixResult,
+    find_prefix,
+    find_unrecoverable,
+)
+from repro.errors import ProtocolError
+from repro.types import AcquireType, Dependency, Tid, ep
+
+
+class TestFindPrefix:
+    def test_full_contiguous_list(self):
+        result = find_prefix(3, [4, 5, 6])
+        assert result.kept == 3
+        assert result.discarded == 0
+        assert result.resume_lt == 6
+        assert not result.truncated
+
+    def test_gap_truncates(self):
+        # Element for lt 6 lost (e.g. second failure): keep 4,5; drop 7,8.
+        result = find_prefix(3, [4, 5, 7, 8])
+        assert result.kept == 2
+        assert result.discarded == 2
+        assert result.resume_lt == 5
+        assert result.truncated
+
+    def test_missing_first_element(self):
+        result = find_prefix(3, [5, 6])
+        assert result.kept == 0
+        assert result.resume_lt == 3
+
+    def test_empty_list(self):
+        result = find_prefix(3, [])
+        assert result.kept == 0
+        assert result.resume_lt == 3
+
+    def test_duplicate_lt_is_protocol_violation(self):
+        with pytest.raises(ProtocolError):
+            find_prefix(0, [1, 2, 2])
+
+
+class TestFindUnrecoverable:
+    def _dep(self, lt: int) -> Dependency:
+        return Dependency("o", AcquireType.READ, ep(1, 0, 9), ep(0, 0, lt), 0)
+
+    def test_dependency_within_prefix_ok(self):
+        assert find_unrecoverable([self._dep(4), self._dep(6)], 6) is None
+
+    def test_dependency_beyond_prefix_detected(self):
+        bad = find_unrecoverable([self._dep(4), self._dep(7)], 6)
+        assert bad is not None
+        assert bad.ep_prd.lt == 7
+
+    def test_empty_list_ok(self):
+        assert find_unrecoverable([], 0) is None
+
+
+class TestDetectionReport:
+    def test_aggregate(self):
+        report = DetectionReport(prefixes={
+            Tid(0, 0): PrefixResult(kept=2, discarded=1, resume_lt=5),
+            Tid(0, 1): PrefixResult(kept=3, discarded=0, resume_lt=3),
+        })
+        assert report.any_truncated
+        assert not report.aborted
+        assert report.resume_lts() == {Tid(0, 0): 5, Tid(0, 1): 3}
+        aborted = DetectionReport(prefixes={}, abort_reason="boom")
+        assert aborted.aborted

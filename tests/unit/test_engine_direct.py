@@ -1,0 +1,149 @@
+"""Direct unit tests of the coherence engine using a two-process harness
+(no workload layer): the protocol's message-level behaviour."""
+
+import pytest
+
+from repro import AcquireRead, AcquireWrite, Compute, Program, Release
+from repro.net.message import MessageKind
+from repro.types import ObjectStatus, Tid
+
+from tests.conftest import make_system
+
+
+def step_program(*ops):
+    """Build a program from a literal op list: ('aw'|'ar'|'rel'|'c', arg)."""
+
+    def body(ctx):
+        out = []
+        for op, arg in ctx.param("ops"):
+            if op == "aw":
+                out.append((yield AcquireWrite(arg)))
+            elif op == "ar":
+                out.append((yield AcquireRead(arg)))
+            elif op == "rel":
+                yield Release(arg)
+            elif op == "relv":
+                yield Release.of(*arg)
+            elif op == "c":
+                yield Compute(arg)
+        return out
+
+    return Program("steps", body, {"ops": list(ops)})
+
+
+def run_two(p0_ops, p1_ops, initial=0, **cfg):
+    system = make_system(processes=2, interval=None, **cfg)
+    system.add_object("x", initial=initial, home=0)
+    system.spawn(0, step_program(*p0_ops))
+    system.spawn(1, step_program(*p1_ops))
+    result = system.run()
+    assert result.completed
+    return system, result
+
+
+class TestMessageCounts:
+    def test_remote_read_costs_request_plus_reply(self):
+        system, result = run_two([], [("ar", "x"), ("rel", "x")])
+        assert result.net["total_messages"] == 2
+        kinds = result.net
+        assert kinds["coherence_messages"] == 2
+
+    def test_remote_write_costs_request_reply_no_invalidation(self):
+        system, result = run_two([], [("aw", "x"), ("relv", ("x", 1))])
+        # No read copies existed: request + reply only.
+        assert result.net["total_messages"] == 2
+
+    def test_write_after_read_costs_invalidation_roundtrip(self):
+        system, result = run_two(
+            [("c", 20.0), ("aw", "x"), ("relv", ("x", 1))],
+            [("ar", "x"), ("rel", "x"), ("c", 50.0)],
+        )
+        # P1 read (2 msgs); P0's local write at the owner invalidates the
+        # read copy: INVALIDATE + ACK.
+        metrics = result.metrics.per_process[0]
+        assert metrics.invalidations_sent == 1
+        assert result.net["total_messages"] == 4
+
+    def test_local_reacquire_costs_nothing(self):
+        system, result = run_two(
+            [], [("ar", "x"), ("rel", "x"), ("ar", "x"), ("rel", "x")])
+        assert result.net["total_messages"] == 2  # only the first fetch
+
+
+class TestStateTransitions:
+    def test_ownership_transfer_updates_both_sides(self):
+        system, result = run_two([], [("aw", "x"), ("relv", ("x", 7))])
+        old = system.processes[0].directory.get("x")
+        new = system.processes[1].directory.get("x")
+        assert old.status is ObjectStatus.NO_ACCESS
+        assert old.prob_owner == 1
+        assert new.status is ObjectStatus.OWNED
+        assert new.version == 1
+        assert new.data == 7
+
+    def test_version_increments_only_on_release_write(self):
+        system, result = run_two(
+            [("ar", "x"), ("rel", "x")],
+            [("c", 5.0), ("aw", "x"), ("relv", ("x", 1)),
+             ("aw", "x"), ("relv", ("x", 2))])
+        owner = system.processes[1].directory.get("x")
+        assert owner.version == 2
+
+    def test_read_value_reflects_last_release(self):
+        system, result = run_two(
+            [("c", 30.0), ("ar", "x"), ("rel", "x")],
+            [("aw", "x"), ("relv", ("x", 41)), ("c", 60.0)])
+        values = result.thread_results[Tid(0, 0)]
+        assert values == [41]
+
+    def test_epdep_tracks_last_local_event(self):
+        system, result = run_two([("aw", "x"), ("relv", ("x", 1))], [])
+        obj = system.processes[0].directory.get("x")
+        assert obj.ep_dep is not None
+        assert obj.ep_dep.tid == Tid(0, 0)
+
+
+class TestLogBookkeeping:
+    def test_grant_adds_threadset_pair(self):
+        system, result = run_two([], [("ar", "x"), ("rel", "x")])
+        entry = system.processes[0].checkpoint_protocol.log.last_entry("x")
+        assert len(entry.thread_set) == 1
+        pair = entry.thread_set[0]
+        assert pair.ep_acq.tid == Tid(1, 0)
+        assert pair.ep_acq.lt == 1
+
+    def test_write_grant_records_next_owner_and_copyset(self):
+        system, result = run_two([], [("aw", "x"), ("relv", ("x", 1))])
+        entry = system.processes[0].checkpoint_protocol.log.last_entry("x")
+        assert entry.next_owner == 1
+        assert entry.next_owner_ep.tid == Tid(1, 0)
+        assert entry.copy_set_at_grant == frozenset()
+
+    def test_producer_keeps_version_history(self):
+        system, result = run_two(
+            [],
+            [("aw", "x"), ("relv", ("x", 1)), ("aw", "x"), ("relv", ("x", 2))])
+        log = system.processes[1].checkpoint_protocol.log
+        assert [e.version for e in log.entries_for("x")] == [1, 2]
+        assert all(e.tid_prd == Tid(1, 0) for e in log.entries_for("x"))
+
+
+class TestDuplicateSuppression:
+    def test_grant_gate_blocks_second_grant(self):
+        system, _ = run_two([], [("ar", "x"), ("rel", "x")])
+        from repro.types import ExecutionPoint
+
+        ep = ExecutionPoint(Tid(1, 0), 1)
+        # The acquire was granted once during the run...
+        assert ep in system._granted_eps
+        # ...and the cluster-wide gate refuses a second claim.
+        assert not system.try_claim_grant(ep, 0)
+
+    def test_purge_reopens_rolled_back_eps(self):
+        system, _ = run_two([], [("ar", "x"), ("rel", "x")])
+        from repro.types import ExecutionPoint
+
+        ep = ExecutionPoint(Tid(1, 0), 1)
+        system.purge_granted(1, {Tid(1, 0): 0})
+        assert ep not in system._granted_eps
+        assert system.try_claim_grant(ep, 0)

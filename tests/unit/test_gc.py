@@ -1,0 +1,108 @@
+"""Unit tests for garbage collection (paper section 4.4)."""
+
+import random
+
+from repro.checkpoint.dummy import DummyLog, DummyEntry
+from repro.checkpoint.gc import (
+    gc_dep_sets,
+    gc_dummy_log,
+    gc_own_local_deps,
+    gc_thread_sets,
+)
+from repro.checkpoint.log import LogEntry, ProcessLog
+from repro.checkpoint.policy import CkpSet
+from repro.threads.program import Program
+from repro.threads.thread import Thread
+from repro.types import AcquireType, Dependency, Tid, ep
+
+
+def ckp_set(pid=1, lt=5) -> CkpSet:
+    return CkpSet(pid=pid, seq=1, points=(ep(pid, 0, lt),))
+
+
+def make_thread(tid=Tid(0, 0)) -> Thread:
+    def body(ctx):
+        yield from ()
+
+    return Thread(tid, Program("t", body, {}), lambda fresh: random.Random(0))
+
+
+class TestGcThreadSets:
+    def _log(self) -> ProcessLog:
+        log = ProcessLog()
+        old = LogEntry("x", 0, "d0", Tid(0, 0), ep_release=ep(0, 0, 1))
+        old.add_access(ep(1, 0, 3), ep(0, 0, 1))   # before ckpt (lt 5)
+        old.add_access(ep(1, 0, 8), ep(0, 0, 1))   # after ckpt
+        last = LogEntry("x", 1, "d1", Tid(0, 0), ep_release=ep(0, 0, 2))
+        last.add_access(ep(1, 0, 4), ep(0, 0, 2))  # before ckpt
+        log.append(old)
+        log.append(last)
+        return log
+
+    def test_pairs_before_checkpoint_removed(self):
+        log = self._log()
+        pairs, entries = gc_thread_sets(log, ckp_set(pid=1, lt=5))
+        assert pairs == 2
+        assert entries == 0  # old entry still referenced by the lt-8 pair
+        assert [p.ep_acq.lt for p in log.entries_for("x")[0].thread_set] == [8]
+
+    def test_empty_old_entry_deleted(self):
+        log = self._log()
+        pairs, entries = gc_thread_sets(log, ckp_set(pid=1, lt=10))
+        assert pairs == 3
+        assert entries == 1
+        assert [e.version for e in log] == [1]  # last version survives
+
+    def test_other_processes_pairs_untouched(self):
+        log = ProcessLog()
+        e = LogEntry("x", 0, "d", Tid(0, 0), ep_release=ep(0, 0, 1))
+        e.add_access(ep(2, 0, 1), ep(0, 0, 1))
+        log.append(e)
+        pairs, _ = gc_thread_sets(log, ckp_set(pid=1, lt=99))
+        assert pairs == 0
+        assert len(e.thread_set) == 1
+
+
+class TestGcDummyLog:
+    def test_before_checkpoint_removed(self):
+        log = DummyLog(0)
+        log.store(DummyEntry("x", ep(1, 0, 2), ep(1, 0, 1), type=AcquireType.READ))
+        log.store(DummyEntry("x", ep(1, 0, 7), ep(1, 0, 6), type=AcquireType.READ))
+        assert gc_dummy_log(log, ckp_set(pid=1, lt=5)) == 1
+        assert [e.ep_acq.lt for e in log] == [7]
+
+
+class TestGcDepSets:
+    def test_dep_before_producer_checkpoint_removed(self):
+        thread = make_thread()
+        thread.dep_set = [
+            Dependency("x", AcquireType.READ, ep(0, 0, 1), ep(1, 0, 2), 1),
+            Dependency("x", AcquireType.READ, ep(0, 0, 2), ep(1, 0, 8), 1),
+            Dependency("y", AcquireType.READ, ep(0, 0, 3), ep(2, 0, 2), 2),
+        ]
+        removed = gc_dep_sets([thread], ckp_set(pid=1, lt=5))
+        assert removed == 1
+        assert len(thread.dep_set) == 2
+        assert all(d.ep_prd.lt != 2 or d.ep_prd.tid.pid != 1
+                   for d in thread.dep_set)
+
+    def test_pseudo_producer_never_gcd_by_broadcast(self):
+        thread = make_thread()
+        thread.dep_set = [
+            Dependency("x", AcquireType.READ, ep(0, 0, 1), ep(1, -1, 0), 1),
+        ]
+        assert gc_dep_sets([thread], ckp_set(pid=1, lt=99)) == 0
+
+
+class TestGcOwnLocalDeps:
+    def test_local_deps_before_own_checkpoint_removed(self):
+        thread = make_thread()
+        thread.dep_set = [
+            Dependency("x", AcquireType.READ, ep(0, 0, 2), ep(0, 0, 1), 0, local=True),
+            Dependency("x", AcquireType.READ, ep(0, 0, 9), ep(0, 0, 8), 0, local=True),
+            Dependency("y", AcquireType.READ, ep(0, 0, 3), ep(1, 0, 2), 1),
+        ]
+        removed = gc_own_local_deps([thread], {Tid(0, 0): 5})
+        assert removed == 1
+        # Remote deps and post-checkpoint local deps survive.
+        assert len(thread.dep_set) == 2

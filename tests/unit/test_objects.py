@@ -1,0 +1,118 @@
+"""Unit tests for the figure-2 shared-object structures."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.memory.objects import ObjectDirectory, SharedObject, SharedObjectSpec
+from repro.types import AcquireType, HoldState, ObjectStatus, Tid, ep
+
+
+def make(obj_id="x", initial=None, home=0, local=0) -> SharedObject:
+    return SharedObject(SharedObjectSpec(obj_id, initial, home), local)
+
+
+class TestSharedObject:
+    def test_home_process_owns_initially(self):
+        obj = make(initial=[1, 2], home=0, local=0)
+        assert obj.status is ObjectStatus.OWNED
+        assert obj.data == [1, 2]
+        assert obj.version == 0
+        assert obj.prob_owner == 0
+
+    def test_non_home_has_no_access(self):
+        obj = make(home=0, local=1)
+        assert obj.status is ObjectStatus.NO_ACCESS
+        assert obj.data is None
+        assert obj.prob_owner == 0  # hint points at the home
+
+    def test_initial_data_is_private_copy(self):
+        initial = {"k": [1]}
+        spec = SharedObjectSpec("x", initial, 0)
+        obj = SharedObject(spec, 0)
+        obj.data["k"].append(2)
+        assert initial == {"k": [1]}
+
+    def test_crew_hold_state(self):
+        obj = make()
+        assert obj.hold_state is HoldState.FREE
+        obj.note_held(Tid(0, 0), AcquireType.READ)
+        obj.note_held(Tid(0, 1), AcquireType.READ)
+        assert obj.hold_state is HoldState.HELD_READ
+        assert not obj.can_grant_locally(AcquireType.WRITE)
+        assert obj.can_grant_locally(AcquireType.READ)
+        obj.note_released(Tid(0, 0))
+        obj.note_released(Tid(0, 1))
+        obj.note_held(Tid(0, 2), AcquireType.WRITE)
+        assert obj.hold_state is HoldState.HELD_WRITE
+        assert not obj.can_grant_locally(AcquireType.READ)
+
+    def test_write_hold_while_held_rejected(self):
+        obj = make()
+        obj.note_held(Tid(0, 0), AcquireType.READ)
+        with pytest.raises(ProtocolError):
+            obj.note_held(Tid(0, 1), AcquireType.WRITE)
+
+    def test_read_hold_while_written_rejected(self):
+        obj = make()
+        obj.note_held(Tid(0, 0), AcquireType.WRITE)
+        with pytest.raises(ProtocolError):
+            obj.note_held(Tid(0, 1), AcquireType.READ)
+
+    def test_valid_copy_rules(self):
+        obj = make(local=1)  # NO_ACCESS
+        assert not obj.has_valid_copy
+        obj.status = ObjectStatus.READ
+        assert obj.has_valid_copy
+        obj.pending_invalidate_from = (2, 2)
+        assert not obj.has_valid_copy
+
+    def test_snapshot_restore_roundtrip(self):
+        obj = make(initial={"v": 1})
+        obj.version = 4
+        obj.copy_set = {1, 2}
+        obj.ep_dep = ep(0, 0, 7)
+        snap = obj.snapshot()
+        obj.version = 9
+        obj.copy_set.clear()
+        obj.data["v"] = 99
+        obj.restore(snap)
+        assert obj.version == 4
+        assert obj.copy_set == {1, 2}
+        assert obj.data == {"v": 1}
+        assert obj.ep_dep == ep(0, 0, 7)
+
+    def test_snapshot_deep_copies_data(self):
+        obj = make(initial={"v": [1]})
+        snap = obj.snapshot()
+        obj.data["v"].append(2)
+        assert snap["data"] == {"v": [1]}
+
+
+class TestObjectDirectory:
+    def test_declare_and_get(self):
+        directory = ObjectDirectory(0)
+        directory.declare(SharedObjectSpec("a", 1, 0))
+        assert directory.get("a").data == 1
+        assert "a" in directory
+        assert directory.ids() == ["a"]
+
+    def test_duplicate_declare_rejected(self):
+        directory = ObjectDirectory(0)
+        directory.declare(SharedObjectSpec("a", 1, 0))
+        with pytest.raises(ProtocolError):
+            directory.declare(SharedObjectSpec("a", 2, 0))
+
+    def test_unknown_object_rejected(self):
+        with pytest.raises(ProtocolError):
+            ObjectDirectory(0).get("missing")
+
+    def test_snapshot_restore(self):
+        directory = ObjectDirectory(0)
+        directory.declare(SharedObjectSpec("a", [1], 0))
+        directory.declare(SharedObjectSpec("b", [2], 0))
+        snaps = directory.snapshot()
+        directory.get("a").data.append(99)
+        directory.get("a").version = 5
+        directory.restore(snaps)
+        assert directory.get("a").data == [1]
+        assert directory.get("a").version == 0

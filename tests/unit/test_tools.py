@@ -1,0 +1,114 @@
+"""Unit tests for the analysis tools (sweep, timeline) and the CLI."""
+
+import pytest
+
+from repro.analysis.sweep import Sweep
+from repro.analysis.timeline import extract_events, render_timeline
+from repro.cli import build_parser, main
+from repro.sim.tracing import TraceLog
+
+
+class TestSweep:
+    def test_cross_product_points(self):
+        sweep = Sweep(axes={"a": [1, 2], "b": ["x", "y", "z"]})
+        points = sweep.points()
+        assert len(points) == 6
+        assert {"a": 2, "b": "y"} in points
+
+    def test_run_and_table(self):
+        sweep = Sweep(axes={"n": [1, 2, 3]}, title="squares")
+        result = sweep.run(lambda n: n, extract=lambda n: {"square": n * n})
+        assert result.column("square") == [1, 4, 9]
+        rendered = result.table().render()
+        assert "squares" in rendered and "square" in rendered
+
+    def test_aggregate_groups_means(self):
+        sweep = Sweep(axes={"n": [1, 2], "m": [10, 20]})
+        result = sweep.run(lambda n, m: (n, m),
+                           extract=lambda t: {"v": t[0] * t[1]})
+        means = result.aggregate("v", over="n")
+        assert means == {1: 15.0, 2: 30.0}
+
+    def test_errors_kept_when_requested(self):
+        sweep = Sweep(axes={"n": [1, 0]})
+
+        def run(n):
+            return 10 // n
+
+        result = sweep.run(run, extract=lambda v: {"v": v}, keep_errors=True)
+        assert result.rows[1].error is not None
+        assert "error" in result.table().columns
+
+    def test_errors_propagate_by_default(self):
+        sweep = Sweep(axes={"n": [0]})
+        with pytest.raises(ZeroDivisionError):
+            sweep.run(lambda n: 1 // n, extract=lambda v: {})
+
+
+class TestTimeline:
+    def _trace(self) -> TraceLog:
+        trace = TraceLog()
+        trace.emit(40.0, "failure", "P1 crashed")
+        trace.emit(45.0, "failure", "crash of P1 detected")
+        trace.emit(50.0, "checkpoint", "P0 checkpoint #2 (periodic)")
+        trace.emit(60.0, "recovery", "P1 recovery complete")
+        trace.emit(61.0, "net", "send acquire-request")
+        return trace
+
+    def test_extract_filters_and_parses_pids(self):
+        events = extract_events(self._trace())
+        assert len(events) == 4  # net excluded by default
+        assert events[0].pid == 1
+        assert events[2].pid == 0
+
+    def test_render_contains_marks(self):
+        text = render_timeline(self._trace())
+        assert "X P1 crashed" in text
+        assert "C P0 checkpoint" in text
+        assert "R P1 recovery complete" in text
+
+    def test_truncation(self):
+        trace = TraceLog()
+        for i in range(30):
+            trace.emit(float(i), "checkpoint", f"P0 checkpoint #{i}")
+        text = render_timeline(trace, max_events=10)
+        assert "20 more events" in text
+
+    def test_empty(self):
+        assert "no events" in render_timeline(TraceLog())
+
+
+class TestCli:
+    def test_parser_rejects_bad_crash_spec(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["workload", "sor", "--crash", "nonsense"])
+
+    def test_parser_accepts_crash_spec(self):
+        args = build_parser().parse_args(
+            ["workload", "sor", "--crash", "1@40.5"])
+        assert args.crash == [(1, 40.5)]
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "sor" in out and "coordinated" in out and "E1-figure1" in out
+
+    def test_demo_command(self, capsys):
+        assert main(["demo", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "counter = 32" in out
+        assert "crashed" in out
+
+    def test_workload_command_with_crash(self, capsys):
+        code = main(["workload", "matmul", "--crash", "1@5", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verified" in out and "recovery P1" in out
+
+    def test_workload_on_baseline(self, capsys):
+        code = main(["workload", "synthetic", "--baseline", "none",
+                     "--processes", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "on none" in out

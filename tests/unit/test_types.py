@@ -1,0 +1,114 @@
+"""Unit tests for identifier and execution-point types."""
+
+import pytest
+
+from repro.types import (
+    AcquireType,
+    Dependency,
+    ExecutionPoint,
+    ObjectStatus,
+    Tid,
+    WaitObj,
+    ep,
+    pid_of,
+)
+
+
+class TestTid:
+    def test_pid_recoverable_from_tid(self):
+        # Paper section 3: "the process identifier can be obtained from
+        # the tid".
+        tid = Tid(3, 1)
+        assert tid.pid == 3
+        assert tid.local == 1
+
+    def test_ordering_is_total(self):
+        tids = [Tid(1, 0), Tid(0, 2), Tid(0, 1), Tid(2, 0)]
+        assert sorted(tids) == [Tid(0, 1), Tid(0, 2), Tid(1, 0), Tid(2, 0)]
+
+    def test_hashable_and_equal(self):
+        assert Tid(1, 2) == Tid(1, 2)
+        assert len({Tid(1, 2), Tid(1, 2), Tid(1, 3)}) == 2
+
+    def test_str(self):
+        assert str(Tid(2, 0)) == "t2.0"
+
+
+class TestExecutionPoint:
+    def test_strictly_precedes_same_thread(self):
+        a, b = ep(0, 0, 3), ep(0, 0, 5)
+        assert a.strictly_precedes(b)
+        assert not b.strictly_precedes(a)
+        assert not a.strictly_precedes(a)
+
+    def test_precedes_is_reflexive(self):
+        a = ep(0, 0, 3)
+        assert a.precedes(a)
+        assert a.precedes(ep(0, 0, 4))
+        assert not ep(0, 0, 4).precedes(a)
+
+    def test_cross_thread_comparison_rejected(self):
+        # The paper's relations are only defined within one thread;
+        # silently returning False would mask protocol bugs.
+        with pytest.raises(ValueError):
+            ep(0, 0, 3).strictly_precedes(ep(0, 1, 5))
+        with pytest.raises(ValueError):
+            ep(0, 0, 3).precedes(ep(1, 0, 5))
+
+    def test_same_thread(self):
+        assert ep(0, 0, 1).same_thread(ep(0, 0, 9))
+        assert not ep(0, 0, 1).same_thread(ep(0, 1, 1))
+
+    def test_sort_key_total_order(self):
+        points = [ep(1, 0, 2), ep(0, 1, 9), ep(0, 0, 5), ep(0, 1, 1)]
+        ordered = sorted(points, key=lambda p: p.sort_key())
+        assert ordered == [ep(0, 0, 5), ep(0, 1, 1), ep(0, 1, 9), ep(1, 0, 2)]
+
+    def test_pid_of(self):
+        assert pid_of(ep(4, 2, 7)) == 4
+
+
+class TestAcquireType:
+    def test_flags(self):
+        assert AcquireType.WRITE.is_write
+        assert not AcquireType.WRITE.is_read
+        assert AcquireType.READ.is_read
+        assert not AcquireType.READ.is_write
+
+    def test_str_matches_paper_notation(self):
+        assert str(AcquireType.READ) == "R"
+        assert str(AcquireType.WRITE) == "W"
+
+
+class TestDependency:
+    def test_with_p_log_replaces_only_p(self):
+        dep = Dependency("x", AcquireType.READ, ep(0, 0, 1), ep(1, 0, 4), 0,
+                         local=True)
+        shipped = dep.with_p_log(2)
+        assert shipped.p_log == 2
+        assert shipped.obj_id == dep.obj_id
+        assert shipped.ep_acq == dep.ep_acq
+        assert shipped.ep_prd == dep.ep_prd
+        assert shipped.local
+        assert dep.p_log == 0  # original untouched (frozen)
+
+    def test_str_mentions_locality(self):
+        dep = Dependency("x", AcquireType.WRITE, ep(0, 0, 1), ep(1, 0, 4), 3)
+        assert "remote" in str(dep)
+        assert "local" in str(dep.with_p_log(3).__class__(
+            "x", AcquireType.WRITE, ep(0, 0, 1), ep(1, 0, 4), 3, local=True))
+
+
+class TestWaitObj:
+    def test_fields(self):
+        wait = WaitObj("obj", AcquireType.WRITE, ep(0, 0, 2))
+        assert wait.obj_id == "obj"
+        assert wait.type is AcquireType.WRITE
+        assert wait.ep_acq.lt == 2
+
+
+class TestObjectStatus:
+    def test_values(self):
+        assert str(ObjectStatus.NO_ACCESS) == "no-access"
+        assert str(ObjectStatus.OWNED) == "owned"
+        assert str(ObjectStatus.READ) == "read"

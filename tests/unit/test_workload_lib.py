@@ -1,0 +1,151 @@
+"""Unit/integration tests for the synchronization idioms in
+repro.workloads.lib (barrier, queues, fetch-and-add, spin-wait)."""
+
+from repro import Compute, Program
+from repro.types import Tid
+from repro.workloads.lib import (
+    barrier,
+    fetch_add,
+    queue_close,
+    queue_pop,
+    queue_push,
+    wait_until,
+)
+
+from tests.conftest import make_system
+
+
+def spawn_all(system, bodies):
+    for pid, body in bodies:
+        system.spawn(pid, Program("lib-test", body, {}))
+
+
+class TestBarrier:
+    def test_all_parties_pass_together(self):
+        system = make_system(processes=3, interval=None)
+        system.add_object("bar", initial=[0, 0], home=0)
+        system.add_object("order", initial=[], home=0)
+
+        def body(marker, delay):
+            def run(ctx):
+                yield Compute(delay)
+                from repro.threads.syscalls import AcquireWrite, Release
+                value = yield AcquireWrite("order")
+                yield Release.of("order", value + [f"{marker}-before"])
+                yield from barrier("bar", 3)
+                value = yield AcquireWrite("order")
+                yield Release.of("order", value + [f"{marker}-after"])
+                return "ok"
+            return run
+
+        spawn_all(system, [(0, body("a", 1.0)), (1, body("b", 8.0)),
+                           (2, body("c", 20.0))])
+        result = system.run()
+        order = result.final_objects["order"]
+        # Every "before" strictly precedes every "after".
+        last_before = max(i for i, e in enumerate(order) if e.endswith("before"))
+        first_after = min(i for i, e in enumerate(order) if e.endswith("after"))
+        assert last_before < first_after
+
+    def test_barrier_reusable_across_generations(self):
+        system = make_system(processes=2, interval=None)
+        system.add_object("bar", initial=[0, 0], home=0)
+
+        def body(ctx):
+            generations = []
+            for _ in range(3):
+                generation = yield from barrier("bar", 2)
+                generations.append(generation)
+            return generations
+
+        spawn_all(system, [(0, body), (1, body)])
+        result = system.run()
+        for gens in result.thread_results.values():
+            assert gens == [1, 2, 3]
+
+
+class TestQueues:
+    def test_items_distributed_exactly_once(self):
+        system = make_system(processes=3, interval=None)
+        system.add_object("q", initial=list(range(10)) + [None], home=0)
+        system.add_object("sink", initial=[], home=0)
+
+        def consumer(ctx):
+            taken = []
+            while True:
+                item = yield from queue_pop("q")
+                if item is None:
+                    break
+                taken.append(item)
+                yield Compute(1.0)
+            from repro.threads.syscalls import AcquireWrite, Release
+            value = yield AcquireWrite("sink")
+            yield Release.of("sink", value + taken)
+            return len(taken)
+
+        spawn_all(system, [(0, consumer), (1, consumer), (2, consumer)])
+        result = system.run()
+        assert sorted(result.final_objects["sink"]) == list(range(10))
+        assert sum(result.thread_results.values()) == 10
+
+    def test_push_then_close_releases_blocked_popper(self):
+        system = make_system(processes=2, interval=None)
+        system.add_object("q", initial=[], home=0)
+
+        def producer(ctx):
+            yield Compute(10.0)
+            yield from queue_push("q", "payload")
+            yield from queue_close("q")
+            return "ok"
+
+        def consumer(ctx):
+            item = yield from queue_pop("q")     # spins until pushed
+            end = yield from queue_pop("q")      # sentinel
+            return (item, end)
+
+        spawn_all(system, [(0, producer), (1, consumer)])
+        result = system.run()
+        assert result.thread_results[Tid(1, 0)] == ("payload", None)
+
+
+class TestFetchAdd:
+    def test_returns_old_value_atomically(self):
+        system = make_system(processes=4, interval=None)
+        system.add_object("ctr", initial=0, home=0)
+
+        def body(ctx):
+            seen = []
+            for _ in range(5):
+                old = yield from fetch_add("ctr", 1)
+                seen.append(old)
+                yield Compute(0.5)
+            return seen
+
+        for pid in range(4):
+            system.spawn(pid, Program("fa", body, {}))
+        result = system.run()
+        assert result.final_objects["ctr"] == 20
+        all_old = sorted(v for seen in result.thread_results.values()
+                         for v in seen)
+        assert all_old == list(range(20))  # every ticket handed out once
+
+
+class TestWaitUntil:
+    def test_wakes_on_predicate(self):
+        system = make_system(processes=2, interval=None)
+        system.add_object("flag", initial=0, home=0)
+
+        def setter(ctx):
+            yield Compute(15.0)
+            from repro.threads.syscalls import AcquireWrite, Release
+            yield AcquireWrite("flag")
+            yield Release.of("flag", 7)
+            return "ok"
+
+        def waiter(ctx):
+            value = yield from wait_until("flag", lambda v: v > 0)
+            return value
+
+        spawn_all(system, [(0, setter), (1, waiter)])
+        result = system.run()
+        assert result.thread_results[Tid(1, 0)] == 7
