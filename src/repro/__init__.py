@@ -44,8 +44,16 @@ from repro.errors import (
     ReproError,
     SimulationError,
 )
+from repro.errors import CheckpointCorruptError, StorageError
 from repro.memory.objects import SharedObjectSpec
 from repro.net.channel import LatencyModel
+from repro.storage import (
+    FileBackend,
+    MemoryBackend,
+    StorageBackend,
+    StorageFault,
+    make_backend,
+)
 from repro.threads.program import Program, ProgramContext, program
 from repro.threads.syscalls import (
     AcquireRead,
@@ -69,6 +77,7 @@ __all__ = [
     "AcquireType",
     "AcquireWrite",
     "ApplicationAborted",
+    "CheckpointCorruptError",
     "CheckpointPolicy",
     "CkpSet",
     "ClusterConfig",
@@ -78,9 +87,11 @@ __all__ = [
     "DeadlockError",
     "DisomSystem",
     "ExecutionPoint",
+    "FileBackend",
     "InconsistentStateError",
     "LatencyModel",
     "Log",
+    "MemoryBackend",
     "MemoryModelError",
     "ObjectId",
     "ProcessId",
@@ -94,7 +105,11 @@ __all__ = [
     "RunResult",
     "SharedObjectSpec",
     "SimulationError",
+    "StorageBackend",
+    "StorageError",
+    "StorageFault",
     "Tid",
+    "make_backend",
     "program",
     "__version__",
 ]

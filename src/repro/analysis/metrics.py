@@ -94,6 +94,11 @@ class SystemMetrics:
     """Cluster-wide aggregate of :class:`ProcessMetrics` counters."""
 
     per_process: dict[int, ProcessMetrics] = field(default_factory=dict)
+    #: Stable-storage backend counters (reads / writes / verifies, CRC
+    #: failures, slot fallbacks, segment reuse) from
+    #: :class:`repro.storage.backend.StorageCounters` -- store-wide, not
+    #: per process, because the stable store is shared cluster hardware.
+    storage: dict = field(default_factory=dict)
 
     def total(self, attribute: str) -> int:
         return sum(getattr(metrics, attribute) for metrics in self.per_process.values())
@@ -129,4 +134,6 @@ class SystemMetrics:
             values = [m.as_dict()[key] for m in self.per_process.values()]
             numeric = [v for v in values if isinstance(v, (int, float))]
             out[key] = sum(numeric) if numeric else None
+        if self.storage:
+            out["storage"] = dict(self.storage)
         return out

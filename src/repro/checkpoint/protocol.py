@@ -100,6 +100,9 @@ class DisomCheckpointProtocol(FaultToleranceProtocol):
         self.ckpt_seq = 0
         self.last_ckp_set: Optional[CkpSet] = None
         self._timer_event = None
+        #: Checkpoint writes staged on stable storage whose simulated
+        #: write duration has not elapsed yet, keyed by sequence number.
+        self._inflight: dict[int, tuple[Checkpoint, dict[Tid, int]]] = {}
         #: True while the hosting process is being recovered: replayed
         #: release-writes must not trigger high-water checkpoints.
         self.suppress_checkpoints = False
@@ -112,7 +115,9 @@ class DisomCheckpointProtocol(FaultToleranceProtocol):
     # ------------------------------------------------------------------
     def on_start(self) -> None:
         if self.policy.initial_checkpoint:
-            self.take_checkpoint("initial")
+            # The base image must be durable before the process joins the
+            # cluster -- a crash at any later time must find a checkpoint.
+            self.take_checkpoint("initial", synchronous=True)
         self.start_timer()
 
     def overhead_summary(self) -> dict[str, Any]:
@@ -345,8 +350,17 @@ class DisomCheckpointProtocol(FaultToleranceProtocol):
         self.take_checkpoint("periodic")
         self.start_timer()
 
-    def take_checkpoint(self, trigger: str) -> Checkpoint:
-        """Checkpoint this process, independently of all others."""
+    def take_checkpoint(self, trigger: str, synchronous: bool = False) -> Checkpoint:
+        """Checkpoint this process, independently of all others.
+
+        The image is *staged* on stable storage and committed only after
+        the simulated write duration (two-slot commit: a crash mid-write
+        cannot destroy the previous checkpoint).  Garbage collection and
+        the CkpSet broadcast run at commit time -- discarding log state
+        or announcing the checkpoint before it is durable would make a
+        torn write unrecoverable.  ``synchronous`` commits immediately
+        (process start, explicit cluster-wide cuts).
+        """
         kernel = self.process.kernel
         self.ckpt_seq += 1
         # completed_lt() excludes in-flight acquires (see Thread docs).
@@ -363,19 +377,78 @@ class DisomCheckpointProtocol(FaultToleranceProtocol):
         )
         checkpoint.compute_size()
         if self.policy.incremental:
-            checkpoint.size = self._incremental_delta(checkpoint)
-        self.process.stable_store.save(checkpoint)
+            # Re-size with the delta: ``size`` (bytes written) shrinks to
+            # the changed state, ``full_size`` stays the materialized image.
+            checkpoint.compute_size(delta_bytes=self._incremental_delta(checkpoint))
+        duration = self.process.stable_store.begin_save(checkpoint)
         self.metrics.checkpoints.record(kernel.now, checkpoint.size, trigger)
         kernel.trace.emit(kernel.now, "checkpoint",
                           f"P{self.pid} checkpoint #{self.ckpt_seq} ({trigger})",
                           bytes=checkpoint.size)
+        if synchronous:
+            self._commit_checkpoint(checkpoint, thread_lts)
+        else:
+            self._inflight[checkpoint.seq] = (checkpoint, thread_lts)
+            kernel.schedule(
+                duration, self._finish_checkpoint_write, checkpoint, thread_lts,
+                label=f"ckpt-commit P{self.pid}#{self.ckpt_seq}",
+            )
+        return checkpoint
+
+    def _finish_checkpoint_write(self, checkpoint: Checkpoint,
+                                 thread_lts: dict[Tid, int]) -> None:
+        """The simulated disk write completed (or the node died first)."""
+        if self._inflight.pop(checkpoint.seq, None) is None:
+            return  # already flushed at end of run
+        if not self.process.alive:
+            # Fail-stop mid-write: the staged image is torn and must never
+            # become loadable; the previous committed slot stays intact.
+            self.process.stable_store.discard(checkpoint.pid, checkpoint.seq)
+            return
+        self._commit_checkpoint(checkpoint, thread_lts)
+
+    def flush_pending_writes(self) -> None:
+        """Drain writes still in flight when the simulation horizon ends.
+
+        The kernel stops as soon as the application completes, but the
+        disk finishes writes it already accepted regardless of the
+        simulated clock; without this, a checkpoint staged just before
+        completion would never commit (and never run its GC pass).
+        Dead processes instead discard their torn staged images.
+        """
+        for seq in sorted(self._inflight):
+            checkpoint, thread_lts = self._inflight.pop(seq)
+            if self.process.alive:
+                self._commit_checkpoint(checkpoint, thread_lts)
+            else:
+                self.process.stable_store.discard(checkpoint.pid, checkpoint.seq)
+
+    def _commit_checkpoint(self, checkpoint: Checkpoint,
+                           thread_lts: dict[Tid, int]) -> None:
+        committed = self.process.stable_store.commit(
+            checkpoint.pid, checkpoint.seq
+        )
+        if not committed:
+            # The write never became durable (injected storage fault).
+            # Skipping GC and the CkpSet broadcast keeps every structure
+            # the *previous* checkpoint needs for recovery.
+            self.process.kernel.trace.emit(
+                self.process.kernel.now, "checkpoint",
+                f"P{self.pid} checkpoint #{checkpoint.seq} lost before commit",
+            )
+            return
 
         # -- local garbage collection (section 4.4) ----------------------
         self.metrics.gc_log_entries_dropped += self.log.drop_old_unreferenced()
-        # Own dummies created before the checkpoint are garbage; pending
-        # (unshipped) ones are exactly those.
-        self.metrics.gc_dummies_dropped += len(self.pending_dummies)
-        self.pending_dummies.clear()
+        # Own dummies created before the checkpoint are garbage; ones
+        # created while the write was in flight must survive.
+        def covered(dummy: DummyEntry) -> bool:
+            ckpt_lt = thread_lts.get(dummy.ep_acq.tid)
+            return ckpt_lt is not None and dummy.ep_acq.lt <= ckpt_lt
+
+        survivors = [d for d in self.pending_dummies if not covered(d)]
+        self.metrics.gc_dummies_dropped += len(self.pending_dummies) - len(survivors)
+        self.pending_dummies[:] = survivors
         self.metrics.gc_depset_entries_dropped += gc_own_local_deps(
             self.process.threads.values(), thread_lts
         )
@@ -383,7 +456,7 @@ class DisomCheckpointProtocol(FaultToleranceProtocol):
         # -- CkpSet broadcast ---------------------------------------------
         ckp_set = CkpSet(
             pid=self.pid,
-            seq=self.ckpt_seq,
+            seq=checkpoint.seq,
             points=tuple(ExecutionPoint(tid, lt) for tid, lt in sorted(thread_lts.items())),
         )
         self.last_ckp_set = ckp_set
@@ -395,7 +468,6 @@ class DisomCheckpointProtocol(FaultToleranceProtocol):
             for peer in self.process.peer_pids():
                 if peer != self.pid:
                     self.pending_gc.setdefault(peer, []).append(ckp_set)
-        return checkpoint
 
     def _incremental_delta(self, checkpoint: Checkpoint) -> int:
         """Bytes that changed since the previous checkpoint (extension A4).
@@ -456,6 +528,10 @@ class DisomCheckpointProtocol(FaultToleranceProtocol):
     # restore support (used by recovery)
     # ==================================================================
     def restore_from_checkpoint(self, checkpoint: Checkpoint) -> None:
+        # Writes the crashed incarnation left in flight are torn.
+        for seq in sorted(self._inflight):
+            staged, _ = self._inflight.pop(seq)
+            self.process.stable_store.discard(staged.pid, staged.seq)
         self.log.restore(checkpoint.log_entries)
         self.dummy_log.restore(checkpoint.dummy_entries)
         self.pending_dummies.clear()

@@ -1,9 +1,20 @@
-"""Stable-storage model.
+"""Stable-storage policy layer.
 
 The paper assumes ordinary disks (explicitly *not* NVRAM or UPS -- section
-3).  We model stable storage as an in-simulator store that survives process
-crashes, with byte/write accounting and a configurable write-time model so
-checkpoint cost shows up in the simulated timeline.
+3).  Where checkpoint images actually live is delegated to a pluggable
+:class:`~repro.storage.backend.StorageBackend` (volatile in-memory, or the
+durable two-slot on-disk store); this module keeps the *policy*: the
+write-time cost model that puts checkpoint cost on the simulated timeline,
+and per-process write accounting.
+
+Saves are two-phase, mirroring a real disk commit: :meth:`StableStore.
+begin_save` stages the image and returns the simulated write duration;
+:meth:`StableStore.commit` publishes it once that time has elapsed.  A
+process that crashes between the two loses only the in-flight image --
+the previously committed checkpoint is never destroyed before the new one
+is durable, so recovery always finds an intact image.  The one-shot
+:meth:`StableStore.save` (stage + immediate commit) remains for callers
+that model the write delay themselves (baselines, tests).
 """
 
 from __future__ import annotations
@@ -11,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from repro.errors import RecoveryError
+from repro.errors import CheckpointCorruptError, RecoveryError
 from repro.net.sizing import payload_size
 from repro.types import ProcessId
 
@@ -41,57 +52,111 @@ class Checkpoint:
     #: Bytes of the complete materialized image (what recovery must load).
     full_size: int = 0
 
-    def compute_size(self) -> int:
-        self.size = (
+    def compute_size(self, delta_bytes: Optional[int] = None) -> int:
+        """Size the image: ``full_size`` is always the materialized image;
+        ``size`` (bytes written) is the delta when one is given --
+        incremental checkpoints write less than recovery must read."""
+        self.full_size = (
             payload_size(self.threads)
             + payload_size(self.objects)
             + payload_size(self.log_entries)
             + payload_size(self.dummy_entries)
         )
-        self.full_size = self.size
+        if delta_bytes is None:
+            self.size = self.full_size
+        else:
+            self.size = min(delta_bytes, self.full_size)
         return self.size
 
 
 @dataclass
 class _StableSlot:
-    checkpoint: Optional[Checkpoint] = None
+    """Per-process write accounting (name kept for backward compat: the
+    baseline protocols reach in via ``StableStore._slot``)."""
+
     writes: int = 0
     bytes_written: int = 0
 
 
 class StableStore:
-    """Cluster-wide stable storage, one slot per process.
+    """Cluster-wide stable storage: cost model + accounting over a backend.
 
-    Only the most recent checkpoint is kept (the recovery procedure only
-    ever reads "its most recent checkpoint", section 4.3).
+    Only the most recent intact checkpoint is served (the recovery
+    procedure only ever reads "its most recent checkpoint", section 4.3);
+    the backend's two-slot scheme additionally retains the previous image
+    so a torn or corrupt latest slot never loses the process.
     """
 
-    def __init__(self, write_base_time: float = 5.0, write_per_byte: float = 0.00005) -> None:
+    def __init__(
+        self,
+        write_base_time: float = 5.0,
+        write_per_byte: float = 0.00005,
+        backend: Optional[Any] = None,
+    ) -> None:
+        from repro.storage.backend import MemoryBackend
+
         self.write_base_time = write_base_time
         self.write_per_byte = write_per_byte
+        self.backend = backend if backend is not None else MemoryBackend()
         self._slots: dict[ProcessId, _StableSlot] = {}
 
     def _slot(self, pid: ProcessId) -> _StableSlot:
         return self._slots.setdefault(pid, _StableSlot())
 
-    def save(self, checkpoint: Checkpoint) -> float:
-        """Persist ``checkpoint``; returns the simulated write duration."""
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def write_duration(self, size: int) -> float:
+        return self.write_base_time + self.write_per_byte * size
+
+    def begin_save(self, checkpoint: Checkpoint) -> float:
+        """Stage ``checkpoint`` on the backend; returns the simulated
+        write duration after which :meth:`commit` makes it loadable."""
         slot = self._slot(checkpoint.pid)
-        slot.checkpoint = checkpoint
         slot.writes += 1
         slot.bytes_written += checkpoint.size
-        return self.write_base_time + self.write_per_byte * checkpoint.size
+        self.backend.begin_write(checkpoint)
+        return self.write_duration(checkpoint.size)
 
+    def commit(self, pid: ProcessId, seq: int) -> bool:
+        """Publish a staged checkpoint (the disk write completed)."""
+        return self.backend.commit(pid, seq)
+
+    def discard(self, pid: ProcessId, seq: int) -> None:
+        """Drop a staged checkpoint whose write will never complete."""
+        self.backend.discard(pid, seq)
+
+    def save(self, checkpoint: Checkpoint) -> float:
+        """Persist ``checkpoint`` immediately; returns the simulated write
+        duration.  Stage-and-commit in one step, for callers that do not
+        model a crash window during the write."""
+        duration = self.begin_save(checkpoint)
+        self.commit(checkpoint.pid, checkpoint.seq)
+        return duration
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
     def load(self, pid: ProcessId) -> Checkpoint:
-        slot = self._slots.get(pid)
-        if slot is None or slot.checkpoint is None:
-            raise RecoveryError(f"no checkpoint in stable storage for process {pid}")
-        return slot.checkpoint
+        """Most recent intact checkpoint of ``pid``, CRC-verified by the
+        backend, falling back to the previous slot on a corrupt latest."""
+        try:
+            return self.backend.read_latest(pid)
+        except KeyError:
+            raise RecoveryError(
+                f"no checkpoint in stable storage for process {pid}"
+            ) from None
+        except CheckpointCorruptError as exc:
+            raise RecoveryError(
+                f"every stored checkpoint of process {pid} is corrupt: {exc}"
+            ) from exc
 
     def has_checkpoint(self, pid: ProcessId) -> bool:
-        slot = self._slots.get(pid)
-        return slot is not None and slot.checkpoint is not None
+        return self.backend.has_checkpoint(pid)
 
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
     def writes(self, pid: Optional[ProcessId] = None) -> int:
         if pid is not None:
             return self._slot(pid).writes
@@ -101,3 +166,7 @@ class StableStore:
         if pid is not None:
             return self._slot(pid).bytes_written
         return sum(slot.bytes_written for slot in self._slots.values())
+
+    def storage_counters(self) -> dict[str, Any]:
+        """Backend-level read/write/verify counters, for the run metrics."""
+        return dict(self.backend.counters.as_dict(), backend=self.backend.name)

@@ -6,7 +6,11 @@
     python -m repro demo                          # crash+recovery demo
     python -m repro workload sor --crash 1@40 --timeline
     python -m repro workload synthetic --processes 8 --seed 3 --baseline coordinated
+    python -m repro workload tsp --store-dir /tmp/ckpts   # durable checkpoints
     python -m repro experiments E2 E3 --full      # print experiment tables
+    python -m repro storage inspect --store-dir /tmp/ckpts
+    python -m repro storage verify --store-dir /tmp/ckpts
+    python -m repro storage gc --store-dir /tmp/ckpts
 """
 
 from __future__ import annotations
@@ -77,11 +81,22 @@ def build_parser() -> argparse.ArgumentParser:
                           default=[], metavar="PID@TIME")
     workload.add_argument("--timeline", action="store_true",
                           help="print the failure/recovery timeline")
+    workload.add_argument("--store-dir", default=None, metavar="DIR",
+                          help="durable on-disk checkpoint store (default: "
+                               "volatile in-memory)")
 
     experiments = sub.add_parser("experiments", help="run experiment tables")
     experiments.add_argument("ids", nargs="*", help="experiment id prefixes")
     experiments.add_argument("--full", action="store_true",
                              help="wider parameter sweeps")
+
+    storage = sub.add_parser(
+        "storage", help="inspect an on-disk checkpoint store")
+    storage.add_argument("action", choices=("inspect", "verify", "gc"),
+                         help="inspect: list slots; verify: CRC-check all "
+                              "images; gc: remove stale temp/segment files")
+    storage.add_argument("--store-dir", required=True, metavar="DIR",
+                         help="checkpoint store directory")
     return parser
 
 
@@ -130,7 +145,8 @@ def cmd_workload(args: argparse.Namespace) -> int:
     spare = max(2, len(args.crash) + 1)
     system = DisomSystem(
         ClusterConfig(processes=args.processes, seed=args.seed,
-                      spare_nodes=spare, trace=args.timeline),
+                      spare_nodes=spare, trace=args.timeline,
+                      store_dir=args.store_dir),
         CheckpointPolicy(interval=args.interval),
         protocol_factory=factory,
     )
@@ -154,6 +170,9 @@ def cmd_workload(args: argparse.Namespace) -> int:
     table.add_row("log bytes", result.metrics.total_log_bytes)
     table.add_row("checkpoints", result.metrics.total_checkpoints)
     table.add_row("stable writes", result.stable_writes)
+    if args.store_dir:
+        table.add_row("store dir", args.store_dir)
+        table.add_row("store bytes written", result.storage["bytes_written"])
     table.add_row("survivor rollbacks", result.metrics.total_survivor_rollbacks)
     for record in result.recoveries:
         table.add_row(
@@ -168,6 +187,47 @@ def cmd_workload(args: argparse.Namespace) -> int:
     print(table.render())
     ok = result.completed and (check is None or check.ok)
     return 0 if (ok or result.aborted) else 1
+
+
+def cmd_storage(action: str, store_dir: str) -> int:
+    import os
+
+    from repro.storage.backend import FileBackend
+
+    if not os.path.isdir(store_dir):
+        print(f"not a checkpoint store directory: {store_dir}")
+        return 1
+    backend = FileBackend(store_dir)
+
+    if action == "gc":
+        removed = backend.gc()
+        print(f"removed {removed} unreferenced file(s) from {store_dir}")
+        return 0
+
+    reports = backend.verify()
+    table = Table(f"checkpoint store {store_dir}",
+                  ["pid", "slot", "seq", "taken at", "bytes", "sections",
+                   "status"])
+    for info in reports:
+        status = "latest" if info.latest else ("ok" if info.ok else "CORRUPT")
+        table.add_row(
+            info.pid, info.slot,
+            info.seq if info.seq is not None else "-",
+            round(info.taken_at, 1) if info.taken_at is not None else "-",
+            info.stored_bytes, info.sections, status,
+        )
+    print(table.render())
+    recoverable = all(
+        any(info.ok for info in reports if info.pid == pid)
+        for pid in backend.pids()
+    )
+    if action == "verify":
+        corrupt = sum(1 for info in reports if not info.ok)
+        print()
+        print(f"{len(reports)} slot(s), {corrupt} corrupt; every process "
+              f"{'has' if recoverable else 'DOES NOT have'} an intact image")
+        return 0 if recoverable else 1
+    return 0
 
 
 def cmd_experiments(ids: list[str], full: bool) -> int:
@@ -187,6 +247,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return cmd_workload(args)
     if args.command == "experiments":
         return cmd_experiments(args.ids, args.full)
+    if args.command == "storage":
+        return cmd_storage(args.action, args.store_dir)
     raise AssertionError("unreachable")
 
 

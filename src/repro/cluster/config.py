@@ -64,6 +64,14 @@ class ClusterConfig:
     #: Stable-storage write cost model.
     stable_write_base: float = 5.0
     stable_write_per_byte: float = 0.00005
+    #: Durable checkpoint store: a directory selects the on-disk
+    #: FileBackend (checkpoints survive the Python process); None keeps
+    #: the volatile in-memory backend.
+    store_dir: Optional[str] = None
+    #: zlib-compress on-disk checkpoint sections (FileBackend only).
+    storage_compress: bool = True
+    #: fsync on-disk writes (disable only to speed up tests).
+    storage_fsync: bool = True
     #: Enable the structured trace log (tests use it; experiments mostly not).
     trace: bool = False
     trace_max_records: Optional[int] = 200_000

@@ -26,6 +26,8 @@ from repro.errors import (
 )
 from repro.failure.detector import FailureDetector
 from repro.failure.injector import CrashInjector
+from repro.storage.backend import make_backend
+from repro.storage.faults import StorageFault, StorageFaultPlan
 from repro.memory.objects import SharedObjectSpec
 from repro.net.message import Message, MessageKind
 from repro.net.network import Network
@@ -70,6 +72,9 @@ class RunResult:
     recoveries: list[RecoveryRecord]
     shadows: dict[ProcessId, ShadowSnapshot] = field(default_factory=dict)
     invariant_violations: list[str] = field(default_factory=list)
+    #: Storage-backend counters (reads, writes, CRC failures, slot
+    #: fallbacks, segment reuse) -- see StorageCounters.as_dict().
+    storage: dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -84,10 +89,14 @@ class DisomSystem:
         config: Optional[ClusterConfig] = None,
         checkpoint: Optional[CheckpointPolicy] = None,
         protocol_factory: Optional[Any] = None,
+        storage_backend: Optional[Any] = None,
     ) -> None:
         """``protocol_factory`` selects the fault-tolerance scheme: None
         runs the paper's DiSOM checkpoint protocol; baselines pass e.g.
-        ``NullProtocol.factory()`` (see :mod:`repro.baselines`)."""
+        ``NullProtocol.factory()`` (see :mod:`repro.baselines`).
+        ``storage_backend`` overrides the checkpoint store built from the
+        config (``ClusterConfig.store_dir`` selects the durable
+        :class:`~repro.storage.backend.FileBackend`)."""
         self.config = config or ClusterConfig()
         self.checkpoint_policy = checkpoint or CheckpointPolicy()
         self.protocol_factory = protocol_factory
@@ -97,9 +106,18 @@ class DisomSystem:
         )
         self.kernel = Kernel(seed=self.config.seed, trace=trace)
         self.network = Network(self.kernel, latency=self.config.latency)
+        if storage_backend is None:
+            storage_backend = make_backend(
+                self.config.store_dir,
+                compress=self.config.storage_compress,
+                incremental=self.checkpoint_policy.incremental,
+                fsync=self.config.storage_fsync,
+            )
+        self.storage_backend = storage_backend
         self.stable_store = StableStore(
             write_base_time=self.config.stable_write_base,
             write_per_byte=self.config.stable_write_per_byte,
+            backend=storage_backend,
         )
         self.detector = FailureDetector(self.kernel, self.config.detection_delay)
         self.detector.subscribe(self._on_crash_detected)
@@ -246,6 +264,18 @@ class DisomSystem:
         self._crash_plans[pid] = plan
         self.injector.schedule([plan])
 
+    def inject_storage_fault(
+        self,
+        kind: "StorageFault | str",
+        pid: Optional[ProcessId] = None,
+        seq: Optional[int] = None,
+        count: Optional[int] = 1,
+    ) -> StorageFaultPlan:
+        """Arm a storage-level fault (torn write, bit flip, missing
+        rename, stale slot) against matching checkpoint writes; see
+        :mod:`repro.storage.faults`."""
+        return self.storage_backend.faults.arm(kind, pid=pid, seq=seq, count=count)
+
     # ------------------------------------------------------------------
     # running
     # ------------------------------------------------------------------
@@ -266,12 +296,77 @@ class DisomSystem:
         completed = self.kernel.stop_reason == "completed"
         if self.aborted:
             completed = False
+        if until is None:
+            # The kernel stops the instant the application completes (or
+            # aborts), but the disk finishes writes it already accepted:
+            # commit checkpoints whose simulated write was still in flight
+            # so the store is left in its durable end-of-run state.
+            for pid in sorted(self.processes):
+                protocol = self.processes[pid].checkpoint_protocol
+                flush = getattr(protocol, "flush_pending_writes", None)
+                if flush is not None:
+                    flush()
         if until is None and not completed and not self.aborted:
             blocked = self._describe_blocked()
             raise SimulationError(
                 f"run did not complete by t={horizon}: {blocked}"
             )
         return self._build_result(completed)
+
+    def checkpoint_all(self, trigger: str = "explicit") -> None:
+        """Checkpoint every alive process at the current simulated instant.
+
+        All images are taken at the same simulated time and committed
+        synchronously, so the resulting set of checkpoints forms a
+        consistent cut: no checkpointed state can depend on a version
+        produced after another process's checkpoint.  Combined with a
+        durable backend this makes a planned shutdown fully restartable
+        (see :meth:`recover_all_from_storage`).
+        """
+        if not self._started:
+            raise ConfigError("checkpoint_all requires a started system")
+        for pid in sorted(self.processes):
+            process = self.processes[pid]
+            protocol = process.checkpoint_protocol
+            if process.alive and hasattr(protocol, "take_checkpoint"):
+                protocol.take_checkpoint(trigger, synchronous=True)
+
+    def recover_all_from_storage(self) -> None:
+        """Cold restart: bring up a whole cluster from durable checkpoints.
+
+        Call on a freshly constructed system (same config, objects and
+        programs) whose stable store points at an existing store
+        directory, *instead of* starting the application from scratch:
+        every process loads its most recent intact checkpoint -- CRC
+        verified, falling back to the previous slot on corruption -- and
+        the standard concurrent-recovery machinery (sections 4.3/4.5)
+        replays all of them to a consistent state, after which the
+        remaining application work runs to completion via :meth:`run`.
+        """
+        if self._started:
+            raise ConfigError(
+                "recover_all_from_storage must be called before run()"
+            )
+        self._started = True
+        managers = []
+        for pid in sorted(self.processes):
+            process = self.processes[pid]
+            checkpoint = self.stable_store.load(pid)
+            self.recovery_records.append(
+                RecoveryRecord(pid=pid, crashed_at=0.0, detected_at=0.0)
+            )
+            manager = RecoveryManager(
+                process=process,
+                checkpoint=checkpoint,
+                timing=self.config.recovery,
+                detected_at=0.0,
+            )
+            process.recovery_manager = manager
+            managers.append(manager)
+        # Start only after every manager exists so no recovery request
+        # races ahead of a peer's ability to queue it.
+        for manager in managers:
+            manager.start()
 
     def _describe_blocked(self) -> str:
         parts = []
@@ -323,7 +418,8 @@ class DisomSystem:
 
     def _build_result(self, completed: bool) -> RunResult:
         metrics = SystemMetrics(
-            per_process={pid: p.metrics for pid, p in self.processes.items()}
+            per_process={pid: p.metrics for pid, p in self.processes.items()},
+            storage=self.stable_store.storage_counters(),
         )
         thread_results: dict[Tid, Any] = {}
         for process in self.processes.values():
@@ -349,6 +445,7 @@ class DisomSystem:
             recoveries=list(self.recovery_records),
             shadows=dict(self.shadows),
             invariant_violations=violations,
+            storage=self.stable_store.storage_counters(),
         )
 
     def gather_final_objects(self) -> dict[ObjectId, Any]:

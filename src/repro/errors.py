@@ -87,3 +87,23 @@ class RecoveryError(ReproError):
 
 class CrashedProcessError(ReproError):
     """Raised when an operation targets a process that has crashed."""
+
+
+class StorageError(ReproError):
+    """Raised when a stable-storage backend fails an operation.
+
+    Covers structural problems of the store itself (unreadable store
+    directory, malformed slot layout) as opposed to corruption of a
+    particular checkpoint image.
+    """
+
+
+class CheckpointCorruptError(StorageError):
+    """Raised when a checkpoint image fails its integrity checks.
+
+    A torn write, bit flip or truncated slot is detected through the
+    per-section CRC32 checksums of the on-disk format.  Recovery treats
+    a corrupt *latest* slot as survivable -- it falls back to the
+    previous slot of the two-slot commit scheme -- and only surfaces
+    this error when no intact image remains.
+    """

@@ -18,6 +18,7 @@ from repro.experiments.claims import (
 )
 from repro.experiments.interference import run_interference
 from repro.experiments.scalability import run_scalability
+from repro.experiments.storage_faults import run_storage_faults
 from repro.experiments.theorems import run_theorem1, run_theorem2
 
 ALL_EXPERIMENTS = {
@@ -33,10 +34,11 @@ ALL_EXPERIMENTS = {
     "E10-dummy-log": run_dummy_log,
     "E11-scalability": run_scalability,
     "E12-interference": run_interference,
+    "E13-storage-faults": run_storage_faults,
 }
 
 __all__ = ["ALL_EXPERIMENTS", "ExperimentResult", "run_figure1",
            "run_no_extra_messages", "run_log_overhead",
            "run_coordination_overhead", "run_no_rollback", "run_theorem1",
            "run_theorem2", "run_recovery_time", "run_gc", "run_dummy_log",
-           "run_scalability"]
+           "run_scalability", "run_storage_faults"]

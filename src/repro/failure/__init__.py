@@ -1,6 +1,20 @@
-"""Fail-stop failure model: crash injection and bounded-delay detection."""
+"""Failure models: fail-stop crash injection with bounded-delay detection,
+plus storage-level faults (torn writes, bit flips, lost renames) against
+the checkpoint store -- the disk-side failure modes the two-slot commit
+scheme of :mod:`repro.storage` exists to survive."""
 
 from repro.failure.detector import FailureDetector
 from repro.failure.injector import CrashInjector
+from repro.storage.faults import (
+    StorageFault,
+    StorageFaultInjector,
+    StorageFaultPlan,
+)
 
-__all__ = ["CrashInjector", "FailureDetector"]
+__all__ = [
+    "CrashInjector",
+    "FailureDetector",
+    "StorageFault",
+    "StorageFaultInjector",
+    "StorageFaultPlan",
+]
