@@ -17,7 +17,7 @@ All functions return the number of items removed, for the E9 experiment.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Any, Iterable, Optional
 
 from repro.checkpoint.dummy import DummyLog
 from repro.checkpoint.log import ProcessLog
@@ -26,10 +26,13 @@ from repro.threads.thread import Thread
 from repro.types import Tid
 
 
-def gc_thread_sets(log: ProcessLog, ckp_set: CkpSet) -> tuple[int, int]:
+def gc_thread_sets(log: ProcessLog, ckp_set: CkpSet,
+                   observer: Optional[Any] = None) -> tuple[int, int]:
     """Trim threadSets against ``ckp_set``; drop dead old entries.
 
-    Returns ``(pairs_removed, entries_removed)``.
+    Returns ``(pairs_removed, entries_removed)``.  ``observer`` (the
+    verification layer) is told of every dropped pair together with the
+    CkpSet justifying the drop, so GC safety can be checked online.
     """
     lts = ckp_set.lts_by_tid()
     pairs_removed = 0
@@ -39,6 +42,8 @@ def gc_thread_sets(log: ProcessLog, ckp_set: CkpSet) -> tuple[int, int]:
             ckpt_lt = lts.get(pair.ep_acq.tid)
             if ckpt_lt is not None and pair.ep_acq.lt < ckpt_lt:
                 pairs_removed += 1
+                if observer is not None:
+                    observer.on_gc_pair_drop(entry, pair, ckp_set)
             else:
                 kept.append(pair)
         entry.thread_set[:] = kept
@@ -46,12 +51,21 @@ def gc_thread_sets(log: ProcessLog, ckp_set: CkpSet) -> tuple[int, int]:
     return pairs_removed, entries_removed
 
 
-def gc_dummy_log(dummy_log: DummyLog, ckp_set: CkpSet) -> int:
+def gc_dummy_log(dummy_log: DummyLog, ckp_set: CkpSet,
+                 observer: Optional[Any] = None) -> int:
     """Drop stored dummy entries created by ``P_ckp`` before its checkpoint."""
+    if observer is not None:
+        lts = ckp_set.lts_by_tid()
+        for dummy in dummy_log:
+            ckpt_lt = lts.get(dummy.ep_acq.tid)
+            if (dummy.ep_acq.tid.pid == ckp_set.pid
+                    and ckpt_lt is not None and dummy.ep_acq.lt < ckpt_lt):
+                observer.on_gc_dummy_drop(dummy, ckp_set)
     return dummy_log.remove_before(ckp_set.pid, ckp_set.lts_by_tid())
 
 
-def gc_dep_sets(threads: Iterable[Thread], ckp_set: CkpSet) -> int:
+def gc_dep_sets(threads: Iterable[Thread], ckp_set: CkpSet,
+                observer: Optional[Any] = None) -> int:
     """Drop depSet entries with ``ep_prd`` before the producer's checkpoint."""
     lts = ckp_set.lts_by_tid()
     removed = 0
@@ -65,6 +79,8 @@ def gc_dep_sets(threads: Iterable[Thread], ckp_set: CkpSet) -> int:
                 and dep.ep_prd.lt < ckpt_lt
             ):
                 removed += 1
+                if observer is not None:
+                    observer.on_gc_dep_drop(thread.tid, dep, ckp_set)
             else:
                 kept.append(dep)
         thread.dep_set[:] = kept

@@ -104,6 +104,10 @@ class ProcessLog:
         self.appended = 0
         #: Total bytes ever logged (GC does not decrease this).
         self.appended_bytes = 0
+        #: Optional verification observer with ``on_log_append(entry)``
+        #: and ``on_log_remove(entry)`` methods (duck-typed; see
+        #: :mod:`repro.verify.invariants`).
+        self.observer: Optional[Any] = None
 
     def append(self, entry: LogEntry) -> None:
         per_obj = self._by_object.setdefault(entry.obj_id, [])
@@ -115,6 +119,8 @@ class ProcessLog:
         per_obj.append(entry)
         self.appended += 1
         self.appended_bytes += entry.size_bytes()
+        if self.observer is not None:
+            self.observer.on_log_append(entry)
 
     def last_entry(self, obj_id: ObjectId) -> Optional[LogEntry]:
         per_obj = self._by_object.get(obj_id)
@@ -145,6 +151,8 @@ class ProcessLog:
         per_obj = self._by_object.get(entry.obj_id, [])
         if entry in per_obj:
             per_obj.remove(entry)
+        if self.observer is not None:
+            self.observer.on_log_remove(entry)
 
     def drop_old_unreferenced(self) -> int:
         """Delete old entries with an empty threadSet; returns count."""

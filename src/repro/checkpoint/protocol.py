@@ -109,6 +109,10 @@ class DisomCheckpointProtocol(FaultToleranceProtocol):
         #: Fingerprint of the previous checkpoint's state, used by the
         #: incremental-checkpoint extension to size the delta.
         self._ckpt_fingerprint: Optional[dict] = None
+        #: Optional verification observer (duck-typed; see
+        #: :mod:`repro.verify.invariants`).  Notified on dummy creation,
+        #: CkpSet announcements, GC drops and checkpoint restores.
+        self.invariant_observer: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # shorthand
@@ -167,6 +171,8 @@ class DisomCheckpointProtocol(FaultToleranceProtocol):
         )
         self.pending_dummies.append(dummy)
         self.metrics.dummies_created += 1
+        if self.invariant_observer is not None:
+            self.invariant_observer.on_dummy_created(self.pid, dummy)
         thread.dep_set.append(
             Dependency(obj.obj_id, acq_type, ep_acq, dep_point, self.pid, local=True)
         )
@@ -240,16 +246,30 @@ class DisomCheckpointProtocol(FaultToleranceProtocol):
             Dependency(obj.obj_id, acq_type, ep_acq, control["ep_prd"], p_prd)
         )
 
-    def on_ownership_installed(self, obj: SharedObject) -> None:
+    def on_ownership_installed(self, obj: SharedObject,
+                               ep_acq: ExecutionPoint) -> None:
         # We own a version produced elsewhere and may serve (read) grants
         # before any local release: materialize the owner's entry.
         last = self.log.last_entry(obj.obj_id)
         if last is None or last.version < obj.version:
             from repro.threads.thread import snapshot as _snap
 
-            self.log.append(make_ownership_entry(
+            last = make_ownership_entry(
                 self.pid, obj.obj_id, obj.version, _snap(obj.data)
-            ))
+            )
+            self.log.append(last)
+        if last.version == obj.version and last.next_owner is None:
+            # This hook only fires for a local write acquire deferred
+            # behind sibling readers: our own write supersedes the
+            # installed version, so readers we grant meanwhile depend on
+            # an entry that must record the supersession -- otherwise a
+            # recovering reader replaying from this entry would believe
+            # its copy is current (the producer's original entry, which
+            # does say next_owner, lives at another process).  Same
+            # local-writer analogue as in on_local_acquire.
+            last.next_owner = self.pid
+            last.next_owner_ep = ep_acq
+            last.copy_set_at_grant = frozenset(obj.copy_set)
 
     def on_release_write(self, thread: Thread, obj: SharedObject) -> None:
         # Paper 4.2 step 4: a new version was produced; log it.
@@ -460,6 +480,8 @@ class DisomCheckpointProtocol(FaultToleranceProtocol):
             points=tuple(ExecutionPoint(tid, lt) for tid, lt in sorted(thread_lts.items())),
         )
         self.last_ckp_set = ckp_set
+        if self.invariant_observer is not None:
+            self.invariant_observer.on_ckp_set(ckp_set)
         if self.policy.gc_transport == "eager":
             for peer in self.process.peer_pids():
                 if peer != self.pid:
@@ -516,12 +538,15 @@ class DisomCheckpointProtocol(FaultToleranceProtocol):
 
     def apply_gc(self, ckp_set: CkpSet) -> None:
         """Receiver-side GC on a CkpSet announcement (section 4.4)."""
-        pairs, entries = gc_thread_sets(self.log, ckp_set)
+        observer = self.invariant_observer
+        pairs, entries = gc_thread_sets(self.log, ckp_set, observer=observer)
         self.metrics.gc_threadset_pairs_dropped += pairs
         self.metrics.gc_log_entries_dropped += entries
-        self.metrics.gc_dummies_dropped += gc_dummy_log(self.dummy_log, ckp_set)
+        self.metrics.gc_dummies_dropped += gc_dummy_log(
+            self.dummy_log, ckp_set, observer=observer
+        )
         self.metrics.gc_depset_entries_dropped += gc_dep_sets(
-            self.process.threads.values(), ckp_set
+            self.process.threads.values(), ckp_set, observer=observer
         )
 
     # ==================================================================
@@ -532,6 +557,10 @@ class DisomCheckpointProtocol(FaultToleranceProtocol):
         for seq in sorted(self._inflight):
             staged, _ = self._inflight.pop(seq)
             self.process.stable_store.discard(staged.pid, staged.seq)
+        if self.invariant_observer is not None:
+            # log.restore() replays appends; the checker must forget this
+            # process's pre-crash version history first.
+            self.invariant_observer.on_restore(self.pid)
         self.log.restore(checkpoint.log_entries)
         self.dummy_log.restore(checkpoint.dummy_entries)
         self.pending_dummies.clear()

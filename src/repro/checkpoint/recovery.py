@@ -157,7 +157,7 @@ def restore_process_state(process: Any, checkpoint: Checkpoint) -> None:
             if thread is None or obj.obj_id not in thread.held:
                 obj.local_writer = None
         stale_readers = set()
-        for tid in obj.local_readers:
+        for tid in sorted(obj.local_readers):
             thread = process.threads.get(tid)
             if thread is None or obj.obj_id not in thread.held:
                 stale_readers.add(tid)

@@ -321,6 +321,9 @@ class LogReplayer:
         thread.wait_obj = None
         process.engine.acquire_observer(thread.tid, ep_acq.lt, item.obj_id,
                                         obj.version, acq_type)
+        process.engine.emit_mem_event("acquire", thread.tid, ep_acq.lt, obj,
+                                      acq_type, local=(item.kind == "dummy"),
+                                      replayed=True)
         process.metrics.replayed_acquires += 1
         if item.kind == "regular":
             process.metrics.replayed_releases += 0  # (releases counted by engine)
@@ -482,6 +485,18 @@ class LogReplayer:
             if obj.status is not ObjectStatus.OWNED:
                 continue
             candidates = set(obj.copy_set) - {process.pid}
+            # Readers recorded on *older* entries are candidates too: a
+            # survivor that read a version we produced after our last
+            # remote write grant appears in no inherited copySet -- only
+            # as a threadSet pair (re-attached in step 1 from its
+            # DependList) on a non-last entry.  Its copy is stale and
+            # without this it would never see an invalidation.
+            for old in protocol.log.entries_for(obj.obj_id):
+                candidates |= {
+                    pair.ep_acq.tid.pid for pair in old.thread_set
+                } - {process.pid}
+                if old.copy_set_at_grant is not None:
+                    candidates |= set(old.copy_set_at_grant) - {process.pid}
             entry = protocol.log.last_entry(obj.obj_id)
             current: set[ProcessId] = set()
             if (

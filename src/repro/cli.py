@@ -7,7 +7,13 @@
     python -m repro workload sor --crash 1@40 --timeline
     python -m repro workload synthetic --processes 8 --seed 3 --baseline coordinated
     python -m repro workload tsp --store-dir /tmp/ckpts   # durable checkpoints
+    python -m repro workload nbody --check        # inline verification
+    python -m repro check                         # lint + inline-checked run
+    python -m repro check --inline --workload sor --crash 1@40
+    python -m repro check --lint-only             # determinism lint only
+    python -m repro check --seed-fault race       # prove the checker bites
     python -m repro experiments E2 E3 --full      # print experiment tables
+    python -m repro experiments E1 --check        # experiments under checking
     python -m repro storage inspect --store-dir /tmp/ckpts
     python -m repro storage verify --store-dir /tmp/ckpts
     python -m repro storage gc --store-dir /tmp/ckpts
@@ -84,11 +90,39 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--store-dir", default=None, metavar="DIR",
                           help="durable on-disk checkpoint store (default: "
                                "volatile in-memory)")
+    workload.add_argument("--check", action="store_true",
+                          help="attach the inline verification layer (race "
+                               "detector + invariant checker)")
+
+    check = sub.add_parser(
+        "check",
+        help="verification passes: determinism lint, EC race detection and "
+             "protocol invariant checking over a workload run")
+    check.add_argument("--workload", choices=sorted(ALL_WORKLOADS),
+                       default="synthetic")
+    check.add_argument("--processes", type=int, default=3)
+    check.add_argument("--seed", type=int, default=7)
+    check.add_argument("--interval", type=float, default=30.0,
+                       help="checkpoint interval (simulated time units)")
+    check.add_argument("--crash", type=_parse_crash, action="append",
+                       default=[], metavar="PID@TIME")
+    check.add_argument("--inline", action="store_true",
+                       help="run the inline passes over the workload "
+                            "(the default unless --lint-only)")
+    check.add_argument("--lint-only", action="store_true",
+                       help="run only the determinism lint")
+    check.add_argument("--seed-fault", choices=("race", "gc-unsafe",
+                                                "dummy-chain"), default=None,
+                       help="plant a known fault and verify it is detected "
+                            "(exits nonzero when the fault is flagged)")
 
     experiments = sub.add_parser("experiments", help="run experiment tables")
     experiments.add_argument("ids", nargs="*", help="experiment id prefixes")
     experiments.add_argument("--full", action="store_true",
                              help="wider parameter sweeps")
+    experiments.add_argument("--check", action="store_true",
+                             help="run every experiment workload with the "
+                                  "inline verification layer attached")
 
     storage = sub.add_parser(
         "storage", help="inspect an on-disk checkpoint store")
@@ -146,7 +180,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
     system = DisomSystem(
         ClusterConfig(processes=args.processes, seed=args.seed,
                       spare_nodes=spare, trace=args.timeline,
-                      store_dir=args.store_dir),
+                      store_dir=args.store_dir, check=args.check),
         CheckpointPolicy(interval=args.interval),
         protocol_factory=factory,
     )
@@ -174,6 +208,13 @@ def cmd_workload(args: argparse.Namespace) -> int:
         table.add_row("store dir", args.store_dir)
         table.add_row("store bytes written", result.storage["bytes_written"])
     table.add_row("survivor rollbacks", result.metrics.total_survivor_rollbacks)
+    if result.check_report is not None:
+        report = result.check_report
+        table.add_row("check races", len(report.races))
+        table.add_row("check violations", len(report.violations))
+        table.add_row("check events", report.events_checked)
+        table.add_row("check overhead (ms)",
+                      round(report.overhead_seconds * 1000.0, 1))
     for record in result.recoveries:
         table.add_row(
             f"recovery P{record.pid}",
@@ -185,8 +226,73 @@ def cmd_workload(args: argparse.Namespace) -> int:
     if result.aborted:
         table.add_row("abort reason", result.abort_reason)
     print(table.render())
-    ok = result.completed and (check is None or check.ok)
+    if result.check_report is not None and not result.check_report.ok:
+        print()
+        for problem in result.check_report.problem_strings():
+            print(problem)
+    ok = (result.completed and (check is None or check.ok)
+          and (result.check_report is None or result.check_report.ok))
     return 0 if (ok or result.aborted) else 1
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.verify.lint import lint_tree
+
+    if args.seed_fault:
+        from repro.verify.seeded import run_seeded_fault
+
+        races, violations = run_seeded_fault(args.seed_fault)
+        print(f"seeded fault '{args.seed_fault}': {len(races)} race(s), "
+              f"{len(violations)} invariant violation(s)")
+        for race in races:
+            print(f"race: {race}")
+        for violation in violations:
+            print(violation)
+            print(violation.format_slice())
+        if not races and not violations:
+            print("NOT DETECTED -- the checker failed to flag a known fault")
+            return 0  # CI inverts this: undetected faults must exit zero
+        return 1
+
+    failures = 0
+    findings = lint_tree()
+    print(f"determinism lint: {len(findings)} finding(s)")
+    for finding in findings:
+        print(f"  {finding}")
+    failures += len(findings)
+    if args.lint_only:
+        return 1 if failures else 0
+
+    workload = ALL_WORKLOADS[args.workload]()
+    spare = max(2, len(args.crash) + 1)
+    system = DisomSystem(
+        ClusterConfig(processes=args.processes, seed=args.seed,
+                      spare_nodes=spare, check=True),
+        CheckpointPolicy(interval=args.interval),
+    )
+    workload.setup(system)
+    for pid, when in args.crash:
+        system.inject_crash(pid, at_time=when)
+    result = system.run()
+    report = result.check_report
+    assert report is not None
+    verified = workload.verify(result) if result.completed else None
+    print(f"workload {args.workload} (processes={args.processes}, "
+          f"seed={args.seed}"
+          + "".join(f", crash {pid}@{when:g}" for pid, when in args.crash)
+          + f"): completed={result.completed}, "
+          f"verified={verified.ok if verified else '-'}")
+    print(report.summary())
+    for race in report.races:
+        print(f"race: {race}")
+    for violation in report.violations:
+        print(violation)
+        print(violation.format_slice())
+    if not result.completed or (verified is not None and not verified.ok):
+        failures += 1
+    if not report.ok:
+        failures += 1
+    return 1 if failures else 0
 
 
 def cmd_storage(action: str, store_dir: str) -> int:
@@ -230,10 +336,11 @@ def cmd_storage(action: str, store_dir: str) -> int:
     return 0
 
 
-def cmd_experiments(ids: list[str], full: bool) -> int:
+def cmd_experiments(ids: list[str], full: bool, check: bool = False) -> int:
     from repro.experiments.runner import main as runner_main
 
-    argv = list(ids) + (["--full"] if full else [])
+    argv = list(ids) + (["--full"] if full else []) + (
+        ["--check"] if check else [])
     return runner_main(argv)
 
 
@@ -245,8 +352,10 @@ def main(argv: Optional[list[str]] = None) -> int:
         return cmd_demo(args.seed)
     if args.command == "workload":
         return cmd_workload(args)
+    if args.command == "check":
+        return cmd_check(args)
     if args.command == "experiments":
-        return cmd_experiments(args.ids, args.full)
+        return cmd_experiments(args.ids, args.full, args.check)
     if args.command == "storage":
         return cmd_storage(args.action, args.store_dir)
     raise AssertionError("unreachable")

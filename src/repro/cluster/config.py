@@ -75,6 +75,9 @@ class ClusterConfig:
     #: Enable the structured trace log (tests use it; experiments mostly not).
     trace: bool = False
     trace_max_records: Optional[int] = 200_000
+    #: Attach the inline verification layer (race detector + protocol
+    #: invariant checker, see :mod:`repro.verify`); implies tracing.
+    check: bool = False
 
     def __post_init__(self) -> None:
         if self.processes < 1:

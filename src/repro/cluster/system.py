@@ -75,6 +75,10 @@ class RunResult:
     #: Storage-backend counters (reads, writes, CRC failures, slot
     #: fallbacks, segment reuse) -- see StorageCounters.as_dict().
     storage: dict[str, Any] = field(default_factory=dict)
+    #: Inline verification outcome (repro.verify.inline.CheckReport)
+    #: when the run was checked; its violations are also merged into
+    #: ``invariant_violations`` so ``ok`` reflects them.
+    check_report: Optional[Any] = None
 
     @property
     def ok(self) -> bool:
@@ -106,6 +110,7 @@ class DisomSystem:
         )
         self.kernel = Kernel(seed=self.config.seed, trace=trace)
         self.network = Network(self.kernel, latency=self.config.latency)
+        self.network.drained_hooks.append(self._check_completion)
         if storage_backend is None:
             storage_backend = make_backend(
                 self.config.store_dir,
@@ -138,9 +143,16 @@ class DisomSystem:
         self._granted_eps: dict[Any, ProcessId] = {}
         #: Final-execution acquire history: tid -> {lt: (obj, version, type)}.
         self._acquire_history: dict[Tid, dict[int, tuple]] = {}
+        #: Inline verifier (repro.verify.inline.InlineVerifier), attached
+        #: by verify.inline.attach() or the config's ``check`` flag.
+        self.verifier: Optional[Any] = None
 
         for pid in self.config.pids():
             self._create_process(pid)
+        if self.config.check:
+            from repro.verify.inline import attach
+
+            attach(self)
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -160,6 +172,9 @@ class DisomSystem:
         process.engine.grant_gate = self.try_claim_grant
         process.engine.acquire_observer = self._note_acquire
         self.network.register(pid, process)
+        if self.verifier is not None:
+            # Recovery hosts are created mid-run; they need observers too.
+            self.verifier.attach_process(process)
         return process
 
     def _note_acquire(self, tid: Tid, lt: int, obj_id: ObjectId,
@@ -387,10 +402,17 @@ class DisomSystem:
             if record.pid == pid and record.finished_at is None:
                 record.finished_at = self.kernel.now
                 record.replayed_acquires = self.processes[pid].metrics.replayed_acquires
+        if self.verifier is not None:
+            self.verifier.note_recovery_complete(pid)
         self._check_completion()
 
     def _check_completion(self) -> None:
         if self.aborted:
+            return
+        if self.network.in_flight:
+            # Not quiescent: a message on the wire (e.g. a re-invalidation
+            # sent by recovery finalization) may still change state.  The
+            # network's drained hook re-runs this check once it lands.
             return
         for process in self.processes.values():
             if not process.alive:
@@ -431,6 +453,10 @@ class DisomSystem:
         if completed and not self.aborted:
             violations = self.check_invariants()
             final_objects = self.gather_final_objects()
+        check_report = None
+        if self.verifier is not None:
+            check_report = self.verifier.finalize()
+            violations.extend(check_report.problem_strings())
         return RunResult(
             completed=completed,
             aborted=self.aborted,
@@ -446,6 +472,7 @@ class DisomSystem:
             shadows=dict(self.shadows),
             invariant_violations=violations,
             storage=self.stable_store.storage_counters(),
+            check_report=check_report,
         )
 
     def gather_final_objects(self) -> dict[ObjectId, Any]:

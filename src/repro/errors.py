@@ -7,6 +7,8 @@ still letting programming errors (``TypeError`` etc.) propagate.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -62,6 +64,29 @@ class ApplicationAborted(ReproError):
     def __init__(self, reason: str) -> None:
         super().__init__(reason)
         self.reason = reason
+
+
+class InvariantViolation(ReproError):
+    """Raised by the verification layer when a checked invariant fails.
+
+    Carries the structured description of the violation and, when the
+    trace log is enabled, the slice of trace records surrounding the
+    offending event so the failure can be diagnosed without re-running.
+    """
+
+    def __init__(self, rule: str, detail: str,
+                 trace_slice: Optional[list] = None) -> None:
+        super().__init__(f"[{rule}] {detail}")
+        self.rule = rule
+        self.detail = detail
+        self.trace_slice: list = trace_slice if trace_slice is not None else []
+
+    def format_slice(self, limit: int = 12) -> str:
+        """Render the attached trace slice (most recent ``limit`` rows)."""
+        rows = self.trace_slice[-limit:]
+        if not rows:
+            return "  (no trace attached; run with tracing enabled)"
+        return "\n".join(f"  {row}" for row in rows)
 
 
 class InconsistentStateError(ReproError):

@@ -9,7 +9,19 @@ from repro.analysis.report import Table
 from repro.checkpoint.policy import CheckpointPolicy
 from repro.cluster.config import ClusterConfig
 from repro.cluster.system import DisomSystem, RunResult
+from repro.errors import InvariantViolation
 from repro.workloads.base import Workload
+
+#: Module-wide default for inline verification (``repro experiments
+#: --check`` flips it so every run of every experiment is checked
+#: without threading a flag through each experiment function).
+CHECK_INLINE = False
+
+
+def set_inline_checking(enabled: bool) -> None:
+    """Enable/disable inline verification for subsequent run_workload calls."""
+    global CHECK_INLINE
+    CHECK_INLINE = enabled
 
 
 @dataclass
@@ -43,10 +55,18 @@ def run_workload(
     spare_nodes: int = 4,
     gc_transport: str = "piggyback",
     dummy_transport: str = "piggyback",
+    check: Optional[bool] = None,
 ) -> tuple[DisomSystem, RunResult]:
-    """Build, run and return one configured cluster execution."""
+    """Build, run and return one configured cluster execution.
+
+    ``check=None`` falls back to the module default (:data:`CHECK_INLINE`);
+    when effective, the inline verifier rides along and any race or
+    invariant violation it finds fails the experiment.
+    """
+    effective_check = CHECK_INLINE if check is None else check
     system = DisomSystem(
-        ClusterConfig(processes=processes, seed=seed, spare_nodes=spare_nodes),
+        ClusterConfig(processes=processes, seed=seed, spare_nodes=spare_nodes,
+                      check=effective_check),
         CheckpointPolicy(interval=interval, log_highwater=highwater,
                          gc_transport=gc_transport,
                          dummy_transport=dummy_transport),
@@ -55,4 +75,13 @@ def run_workload(
     workload.setup(system)
     for pid, when in crashes:
         system.inject_crash(pid, at_time=when)
-    return system, system.run()
+    result = system.run()
+    if effective_check and result.check_report is not None:
+        report = result.check_report
+        if not report.ok:
+            raise InvariantViolation(
+                "inline-check",
+                f"inline verification failed: {report.summary()}; "
+                + "; ".join(report.problem_strings()),
+            )
+    return system, result

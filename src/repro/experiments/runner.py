@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments.runner            # quick versions
     python -m repro.experiments.runner --full     # wider sweeps
     python -m repro.experiments.runner E3 E8      # a subset
+    python -m repro.experiments.runner --check    # inline verification on
 """
 
 from __future__ import annotations
@@ -12,10 +13,13 @@ from __future__ import annotations
 import sys
 
 from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.base import set_inline_checking
 
 
 def main(argv: list[str]) -> int:
     quick = "--full" not in argv
+    if "--check" in argv:
+        set_inline_checking(True)
     wanted = [a for a in argv if not a.startswith("-")]
     failures = 0
     for exp_id, runner in ALL_EXPERIMENTS.items():

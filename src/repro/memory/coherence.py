@@ -134,11 +134,14 @@ class CoherenceHooks:
         process.  The Janssens-Fuchs baseline checkpoints here ("a process
         is checkpointed exactly before its updates become visible")."""
 
-    def on_ownership_installed(self, obj: SharedObject) -> None:
+    def on_ownership_installed(self, obj: SharedObject,
+                               ep_acq: ExecutionPoint) -> None:
         """Ownership of a version produced elsewhere was installed while
         the object remains grantable (a write acquire deferred behind
         sibling readers): the protocol may need to materialize state for
-        the new owner (DiSOM synthesizes the last version's log entry)."""
+        the new owner (DiSOM synthesizes the last version's log entry).
+        ``ep_acq`` is the deferred local write acquire that will supersede
+        the installed version once the sibling readers release."""
 
 
 class EntryConsistencyEngine:
@@ -269,15 +272,49 @@ class EntryConsistencyEngine:
             obj.ep_dep = thread.current_ep()
             self.metrics.release_writes += 1
             self.hooks.on_release_write(thread, obj)
+            self.emit_mem_event("write", thread.tid, thread.lt, obj, mode)
         else:
             self.metrics.release_reads += 1
             if obj.status is ObjectStatus.OWNED:
                 obj.ep_dep = thread.current_ep()
             self._maybe_complete_deferred_invalidate(obj)
+        self.emit_mem_event("release", thread.tid, thread.lt, obj, mode)
 
         self._maybe_finish_pending_local_write(obj)
         self._process_queue(obj)
         self.scheduler.complete(thread, None)
+
+    # ==================================================================
+    # memory-event tracing (verification layer input)
+    # ==================================================================
+    def emit_mem_event(
+        self,
+        kind: str,
+        tid: Tid,
+        lt: int,
+        obj: SharedObject,
+        mode: AcquireType,
+        *,
+        local: bool = False,
+        replayed: bool = False,
+    ) -> None:
+        """Emit one "mem" trace record: the event stream consumed by the
+        entry-consistency race detector (:mod:`repro.verify.races`).
+
+        Every record carries the accessed object id *and* the guarding
+        sync object id so the detector never has to re-derive the
+        object-to-guard association from context.
+        """
+        trace = self.kernel.trace
+        if not trace.enabled:
+            return
+        trace.emit(
+            self.kernel.now, "mem",
+            f"{kind} {obj.obj_id} {mode} t{tid.pid}.{tid.local}@{lt}",
+            kind=kind, pid=self.pid, tid=tid, lt=lt, obj=obj.obj_id,
+            sync=obj.guard_id, mode=mode.value, version=obj.version,
+            local=local, replayed=replayed,
+        )
 
     # ==================================================================
     # local acquires (paper 4.2, local-acquire steps)
@@ -330,6 +367,11 @@ class EntryConsistencyEngine:
         self.metrics.local_acquires += 1
         self.acquire_observer(thread.tid, ep_acq.lt, obj.obj_id, obj.version,
                               acq_type)
+        self.emit_mem_event("acquire", thread.tid, ep_acq.lt, obj, acq_type,
+                            local=True)
+        if acq_type.is_read:
+            self.emit_mem_event("read", thread.tid, ep_acq.lt, obj, acq_type,
+                                local=True)
         self.scheduler.complete(thread, value)
 
     # ==================================================================
@@ -610,7 +652,7 @@ class EntryConsistencyEngine:
                 # Ownership has arrived, but sibling threads still hold
                 # local read copies: CREW defers the writer until they
                 # release (the owner that granted us could not see them).
-                self.hooks.on_ownership_installed(obj)
+                self.hooks.on_ownership_installed(obj, ep_acq)
                 self._pending_local_writes.setdefault(obj_id, []).append(
                     (thread, value)
                 )
@@ -621,6 +663,8 @@ class EntryConsistencyEngine:
             thread.note_acquired(obj_id, acq_type, value)
             self.acquire_observer(thread.tid, ep_acq.lt, obj_id, version,
                                   acq_type)
+            self.emit_mem_event("acquire", thread.tid, ep_acq.lt, obj, acq_type)
+            self.emit_mem_event("read", thread.tid, ep_acq.lt, obj, acq_type)
             self.scheduler.complete(thread, value)
 
     def _finish_remote_write(self, thread: Thread, obj: SharedObject, value: Any) -> None:
@@ -629,6 +673,8 @@ class EntryConsistencyEngine:
         thread.note_acquired(obj_id, AcquireType.WRITE, value)
         self.acquire_observer(thread.tid, thread.lt, obj_id, obj.version,
                               AcquireType.WRITE)
+        self.emit_mem_event("acquire", thread.tid, thread.lt, obj,
+                            AcquireType.WRITE)
         invalidatees = set(obj.copy_set)
         if invalidatees:
             self._send_invalidations(obj, invalidatees)

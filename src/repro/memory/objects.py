@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Iterator, Optional
 
 from repro.errors import ProtocolError
 from repro.net.sizing import payload_size
@@ -70,6 +70,19 @@ class SharedObject:
         #: ack is deferred until the last reader releases.  Stores
         #: (new_owner, ack_to, invalidated_version).
         self.pending_invalidate_from: Optional[tuple] = None
+
+    @property
+    def guard_id(self) -> ObjectId:
+        """Identifier of the synchronization object guarding this object.
+
+        Entry consistency associates every shared object with a guarding
+        sync object; in DiSOM's presentation objects are *self-guarded*
+        (the object doubles as its own sync object, paper section 3.1),
+        so the guard is the object itself.  Trace emission and the race
+        detector go through this property rather than assuming identity,
+        so a future explicit sync-object binding only changes this spot.
+        """
+        return self.obj_id
 
     # ------------------------------------------------------------------
     # CREW holding state
@@ -190,7 +203,7 @@ class ObjectDirectory:
     def spec(self, obj_id: ObjectId) -> SharedObjectSpec:
         return self._specs[obj_id]
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[SharedObject]:
         return iter(self._objects.values())
 
     def __contains__(self, obj_id: ObjectId) -> bool:

@@ -48,6 +48,14 @@ class Network:
         #: Observers called on every send (metrics, baselines such as
         #: Stumm-Zhou read-replication hook extra payloads here).
         self.send_hooks: list[Callable[[Message], None]] = []
+        #: Messages sent but not yet delivered (or dropped).  The system
+        #: refuses to declare the run complete while this is non-zero: a
+        #: quiescent state with messages on the wire is not quiescent
+        #: (e.g. recovery's fire-and-forget re-invalidations).
+        self.in_flight = 0
+        #: Called whenever ``in_flight`` returns to zero (set by the
+        #: system to re-evaluate its completion condition).
+        self.drained_hooks: list[Callable[[], None]] = []
 
     # ------------------------------------------------------------------
     # registration / crash control
@@ -112,6 +120,7 @@ class Network:
             hook(message)
         channel = self._channel(message.src, message.dst)
         when = channel.delivery_time(self.kernel.now, message)
+        self.in_flight += 1
         self.kernel.schedule_at(when, self._deliver, message, label=str(message.kind))
         self.kernel.trace.emit(self.kernel.now, "net", f"send {message}",
                                bytes=message.total_bytes())
@@ -133,9 +142,13 @@ class Network:
         return sent
 
     def _deliver(self, message: Message) -> None:
+        self.in_flight -= 1
         if message.dst in self._crashed or message.dst not in self._endpoints:
             self.stats.record_drop(message)
             self.kernel.trace.emit(self.kernel.now, "net", f"drop {message} (dst crashed)")
-            return
-        self.kernel.trace.emit(self.kernel.now, "net", f"recv {message}")
-        self._endpoints[message.dst].deliver(message)
+        else:
+            self.kernel.trace.emit(self.kernel.now, "net", f"recv {message}")
+            self._endpoints[message.dst].deliver(message)
+        if self.in_flight == 0:
+            for hook in self.drained_hooks:
+                hook()

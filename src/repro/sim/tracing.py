@@ -2,11 +2,15 @@
 
 Traces are the simulator's observability surface: every protocol layer
 appends :class:`TraceRecord` rows and tests/experiments filter them.  The
-log can be bounded (ring behaviour) for very long runs.
+log can be bounded for very long runs; the bound is a true ring
+(drop-oldest, one record at a time) so the retained window is always the
+most recent ``max_records`` rows.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
 
@@ -26,7 +30,7 @@ class TraceRecord:
 
 
 class TraceLog:
-    """Append-only trace with optional size bound and category filter."""
+    """Append-only trace with optional ring bound and category filter."""
 
     def __init__(
         self,
@@ -37,9 +41,10 @@ class TraceLog:
         self.enabled = enabled
         self._max = max_records
         self._categories = categories
-        self._records: list[TraceRecord] = []
+        self._records: deque[TraceRecord] = deque(maxlen=max_records)
         self._dropped = 0
-        #: Optional sink invoked on every accepted record (e.g. print).
+        #: Optional sink invoked on every accepted record (e.g. print, or
+        #: the inline verifier's event feed).
         self.sink: Optional[Callable[[TraceRecord], None]] = None
 
     def emit(self, time: float, category: str, message: str, **fields: Any) -> None:
@@ -48,18 +53,16 @@ class TraceLog:
         if self._categories is not None and category not in self._categories:
             return
         record = TraceRecord(time, category, message, fields)
-        if self._max is not None and len(self._records) >= self._max:
-            # Ring behaviour: drop the oldest half in one amortized batch.
-            keep = self._max // 2
-            self._dropped += len(self._records) - keep
-            self._records = self._records[-keep:]
+        if self._max is not None and len(self._records) == self._max:
+            # deque(maxlen=...) evicts the oldest on append; count it.
+            self._dropped += 1
         self._records.append(record)
         if self.sink is not None:
             self.sink(record)
 
     @property
     def records(self) -> list[TraceRecord]:
-        return self._records
+        return list(self._records)
 
     @property
     def dropped(self) -> int:
@@ -75,9 +78,21 @@ class TraceLog:
                 continue
             yield record
 
+    def iter_range(self, t0: float, t1: float) -> Iterator[TraceRecord]:
+        """Iterate records with ``t0 <= time <= t1`` in emission order.
+
+        Records are appended in non-decreasing time order (the kernel's
+        clock is monotone), so the window is located by bisection.
+        """
+        times = [record.time for record in self._records]
+        lo = bisect_left(times, t0)
+        hi = bisect_right(times, t1)
+        for index in range(lo, hi):
+            yield self._records[index]
+
     def count(self, category: Optional[str] = None, contains: Optional[str] = None) -> int:
         return sum(1 for _ in self.filter(category, contains))
 
     def clear(self) -> None:
-        self._records = []
+        self._records.clear()
         self._dropped = 0

@@ -1,0 +1,95 @@
+"""Memory-event model: the race detector's input alphabet.
+
+The coherence engine emits one ``"mem"`` trace record per memory /
+synchronization event (see ``CoherenceEngine.emit_mem_event``).  Each
+record carries both the accessed object id and the id of the guarding
+sync object, so consumers never re-derive the object-to-guard
+association.  This module converts those records into typed
+:class:`MemEvent` values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.sim.tracing import TraceRecord
+from repro.types import ObjectId, Tid
+
+#: The event kinds the coherence engine emits.
+KINDS = ("acquire", "read", "write", "release")
+
+
+@dataclass(frozen=True, slots=True)
+class MemEvent:
+    """One memory or synchronization event of the simulated execution.
+
+    ``kind`` is one of ``acquire``/``read``/``write``/``release``;
+    ``mode`` is the acquire mode in effect (``"R"`` or ``"W"``).
+    ``local`` marks events satisfied without messages (local acquires);
+    ``replayed`` marks events re-emitted by recovery replay.
+    """
+
+    kind: str
+    time: float
+    pid: int
+    tid: Tid
+    lt: int
+    obj_id: ObjectId
+    sync_id: ObjectId
+    mode: str
+    local: bool = False
+    replayed: bool = False
+    version: int = 0
+
+    @property
+    def key(self) -> tuple[Tid, int, str, ObjectId]:
+        """Identity of the logical access.
+
+        Logical time increments on every acquire, so ``(tid, lt)`` pins
+        one bracketed access and ``kind``/``obj_id`` disambiguate the
+        events within it.  A replayed or re-executed event carries the
+        same key as its original -- deterministic replay reproduces the
+        same accesses -- which is what de-duplication keys on.
+        """
+        return (self.tid, self.lt, self.kind, self.obj_id)
+
+    @property
+    def is_write_mode(self) -> bool:
+        return self.mode == "W"
+
+    def __str__(self) -> str:
+        flags = "".join(
+            flag for flag, on in (("L", self.local), ("P", self.replayed)) if on
+        )
+        suffix = f" [{flags}]" if flags else ""
+        return (f"t={self.time:.3f} {self.kind} {self.obj_id}(v{self.version}) "
+                f"{self.mode} by {self.tid}@{self.lt}{suffix}")
+
+    @classmethod
+    def from_record(cls, record: TraceRecord) -> Optional["MemEvent"]:
+        """Build an event from a trace record; None for non-"mem" rows."""
+        if record.category != "mem":
+            return None
+        fields = record.fields
+        return cls(
+            kind=str(fields["kind"]),
+            time=record.time,
+            pid=int(fields["pid"]),
+            tid=fields["tid"],
+            lt=int(fields["lt"]),
+            obj_id=fields["obj"],
+            sync_id=fields["sync"],
+            mode=str(fields["mode"]),
+            local=bool(fields.get("local", False)),
+            replayed=bool(fields.get("replayed", False)),
+            version=int(fields.get("version", 0)),
+        )
+
+
+def events_from_trace(records: Iterable[TraceRecord]) -> Iterator[MemEvent]:
+    """Yield the memory events embedded in a trace record stream."""
+    for record in records:
+        event = MemEvent.from_record(record)
+        if event is not None:
+            yield event

@@ -1,0 +1,175 @@
+"""Inline verification: attach the checkers to a live simulation.
+
+``attach(system)`` (or ``ClusterConfig(check=True)``) wires an
+:class:`InlineVerifier` into a :class:`~repro.cluster.system.DisomSystem`
+before it runs:
+
+* the trace log is enabled and its sink feeds every ``"mem"`` record to
+  the :class:`~repro.verify.races.RaceDetector` as it is emitted;
+* every process's log and checkpoint protocol get the
+  :class:`~repro.verify.invariants.InvariantChecker` as observer
+  (including processes created later to host recoveries);
+* recovery completions trigger the shadow-equivalence check, and the
+  first network-drain afterwards triggers the read-copy coherence
+  sweep;
+* at result-building time :meth:`InlineVerifier.finalize` runs the
+  dummy-coverage pass and produces a :class:`CheckReport`, which lands
+  in ``RunResult.check_report`` (with its violations merged into
+  ``RunResult.invariant_violations``).
+
+The wall-clock overhead of the verifier is measured with
+``time.perf_counter`` and reported -- it feeds the report only, never
+simulation behavior.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Set
+
+from repro.errors import InvariantViolation
+from repro.sim.tracing import TraceRecord
+from repro.types import ProcessId
+from repro.verify.invariants import InvariantChecker, ProcessLogObserver
+from repro.verify.races import RaceDetector, RaceFinding
+
+
+@dataclass
+class CheckReport:
+    """Outcome of the inline verification passes for one run."""
+
+    races: List[RaceFinding] = field(default_factory=list)
+    violations: List[InvariantViolation] = field(default_factory=list)
+    events_checked: int = 0
+    #: Host-clock seconds spent inside the verifier (reporting only).
+    overhead_seconds: float = 0.0
+    #: Trace records evicted by the ring bound (coverage caveat: the
+    #: dummy-coverage pass only sees the retained window).
+    trace_dropped: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.races and not self.violations
+
+    def problem_strings(self) -> List[str]:
+        return ([f"race: {race}" for race in self.races]
+                + [str(violation) for violation in self.violations])
+
+    def summary(self) -> str:
+        status = "clean" if self.ok else (
+            f"{len(self.races)} race(s), {len(self.violations)} "
+            f"invariant violation(s)"
+        )
+        return (f"check: {status}; {self.events_checked} memory events, "
+                f"verifier overhead {self.overhead_seconds * 1000.0:.1f} ms")
+
+
+class InlineVerifier:
+    """Bundles the race detector and invariant checker around one system."""
+
+    def __init__(self, system: Any, strict: bool = False) -> None:
+        self.system = system
+        trace = system.kernel.trace
+        trace.enabled = True
+        self.races = RaceDetector()
+        self.checker = InvariantChecker(trace=trace, strict=strict)
+        self.overhead_seconds = 0.0
+        self._pending_recovery_sweep = False
+        #: Pids whose protocol exposes the DiSOM observation points;
+        #: baselines create no dummies, so only these are subject to
+        #: the dummy-coverage pass.
+        self._dummy_pids: Set[ProcessId] = set()
+        self._prior_sink = trace.sink
+        trace.sink = self._on_record
+        system.verifier = self
+        for pid in sorted(system.processes):
+            self.attach_process(system.processes[pid])
+        system.network.drained_hooks.append(self._on_drained)
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach_process(self, process: Any) -> None:
+        """Hook one process's protocol; called again for recovery hosts."""
+        # A fresh incarnation starts its log from scratch (object
+        # declaration re-appends V0 entries before the checkpoint is
+        # restored), so the monotonicity history of the dead one no
+        # longer applies.
+        self.checker.on_restore(process.pid)
+        protocol = process.checkpoint_protocol
+        log = getattr(protocol, "log", None)
+        if log is not None and hasattr(log, "observer"):
+            log.observer = ProcessLogObserver(self.checker, process.pid)
+        if hasattr(protocol, "invariant_observer"):
+            protocol.invariant_observer = self.checker
+            self._dummy_pids.add(process.pid)
+
+    # ------------------------------------------------------------------
+    # event feed
+    # ------------------------------------------------------------------
+    def _on_record(self, record: TraceRecord) -> None:
+        started = time.perf_counter()
+        try:
+            if record.category == "mem":
+                self.races.feed_record(record)
+        finally:
+            self.overhead_seconds += time.perf_counter() - started
+        if self._prior_sink is not None:
+            self._prior_sink(record)
+
+    # ------------------------------------------------------------------
+    # recovery checks
+    # ------------------------------------------------------------------
+    def note_recovery_complete(self, pid: ProcessId) -> None:
+        started = time.perf_counter()
+        try:
+            self.checker.check_recovery_shadow(self.system, pid)
+            self._pending_recovery_sweep = True
+        finally:
+            self.overhead_seconds += time.perf_counter() - started
+        if not self.system.network.in_flight:
+            self._on_drained()
+
+    def _on_drained(self) -> None:
+        if not self._pending_recovery_sweep:
+            return
+        if any(p.recovery_manager is not None
+               for p in self.system.processes.values()):
+            return
+        if not self.system.config.strict_invalidation_acks:
+            # The A3 ablation legitimately allows transient staleness.
+            self._pending_recovery_sweep = False
+            return
+        self._pending_recovery_sweep = False
+        started = time.perf_counter()
+        try:
+            self.checker.check_read_copy_coherence(self.system)
+        finally:
+            self.overhead_seconds += time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # finalization
+    # ------------------------------------------------------------------
+    def finalize(self) -> CheckReport:
+        started = time.perf_counter()
+        try:
+            self.checker.check_dummy_coverage(self.system.kernel.trace,
+                                              pids=self._dummy_pids)
+        finally:
+            self.overhead_seconds += time.perf_counter() - started
+        return CheckReport(
+            races=list(self.races.races),
+            violations=list(self.checker.violations),
+            events_checked=self.races.events_seen,
+            overhead_seconds=self.overhead_seconds,
+            trace_dropped=self.system.kernel.trace.dropped,
+        )
+
+
+def attach(system: Any, strict: bool = False) -> InlineVerifier:
+    """Attach inline verification to a not-yet-run system."""
+    verifier: Optional[InlineVerifier] = getattr(system, "verifier", None)
+    if verifier is not None:
+        return verifier
+    return InlineVerifier(system, strict=strict)

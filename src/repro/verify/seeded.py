@@ -1,0 +1,120 @@
+"""Seeded verification faults: known-bad inputs the checkers must flag.
+
+Each function builds a small, self-contained scenario containing exactly
+one planted defect and runs the relevant pass over it.  They serve two
+masters: the test suite asserts each fault is detected, and
+``repro check --seed-fault <kind>`` demonstrates end-to-end that a
+planted fault produces a nonzero exit with a pointed report (guarding
+against the checker silently rotting into a yes-sayer).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import InvariantViolation
+from repro.sim.tracing import TraceLog
+from repro.types import ExecutionPoint, Tid
+from repro.verify.invariants import InvariantChecker
+from repro.verify.races import RaceDetector, RaceFinding
+
+FAULT_KINDS = ("race", "gc-unsafe", "dummy-chain")
+
+
+def _mem(trace: TraceLog, when: float, kind: str, tid: Tid, lt: int,
+         obj: str, mode: str, **extra: object) -> None:
+    fields: Dict[str, object] = {
+        "kind": kind, "pid": tid.pid, "tid": tid, "lt": lt,
+        "obj": obj, "sync": obj, "mode": mode, "version": 1,
+        "local": False, "replayed": False,
+    }
+    fields.update(extra)
+    trace.emit(when, "mem", f"{kind} {obj} {mode} {tid}@{lt}", **fields)
+
+
+def seeded_race() -> List[RaceFinding]:
+    """An unguarded write racing a guarded read of the same object.
+
+    Thread t0.0 properly brackets a write of ``x``; thread t1.0 then
+    writes ``x`` without ever acquiring its guard, so no happens-before
+    edge orders the two writes.
+    """
+    trace = TraceLog(enabled=True)
+    writer, rogue = Tid(0, 0), Tid(1, 0)
+    _mem(trace, 1.0, "acquire", writer, 1, "x", "W")
+    _mem(trace, 2.0, "write", writer, 1, "x", "W")
+    _mem(trace, 3.0, "release", writer, 1, "x", "W")
+    # The rogue thread skips the acquire entirely (a broken program
+    # would look exactly like this in the trace).
+    _mem(trace, 4.0, "write", rogue, 1, "x", "W")
+    detector = RaceDetector()
+    return detector.scan(trace.records)
+
+
+def seeded_gc_unsafe() -> List[InvariantViolation]:
+    """GC driven by a forged CkpSet that covers nothing.
+
+    A log entry records an acquire at ``t1.0@9``; the announced CkpSet
+    of P1 has floor 5 for that thread, but the CkpSet actually handed to
+    GC claims floor 100 -- dropping the pair both uncovered (vs the
+    announcement) and forged.
+    """
+    from repro.checkpoint.gc import gc_thread_sets
+    from repro.checkpoint.log import LogEntry, ProcessLog
+    from repro.checkpoint.policy import CkpSet
+
+    log = ProcessLog()
+    producer = Tid(0, 0)
+    entry = LogEntry(obj_id="x", version=1, obj_data=0, tid_prd=producer,
+                     ep_release=ExecutionPoint(producer, 3))
+    entry.add_access(ExecutionPoint(Tid(1, 0), 9),
+                     ExecutionPoint(producer, 3))
+    log.append(entry)
+
+    trace = TraceLog(enabled=True)
+    _mem(trace, 1.0, "release", producer, 3, "x", "W")
+    _mem(trace, 2.0, "acquire", Tid(1, 0), 9, "x", "R")
+    trace.emit(3.0, "gc", "P1 announces CkpSet floor <t1.0@5>")
+    trace.emit(4.0, "gc", "GC driven by forged CkpSet floor <t1.0@100>")
+    checker = InvariantChecker(trace=trace, strict=False)
+    checker.on_ckp_set(CkpSet(pid=1, seq=1,
+                              points=(ExecutionPoint(Tid(1, 0), 5),)))
+    forged = CkpSet(pid=1, seq=2, points=(ExecutionPoint(Tid(1, 0), 100),))
+    gc_thread_sets(log, forged, observer=checker)
+    return checker.violations
+
+
+def seeded_dummy_chain() -> List[InvariantViolation]:
+    """A local acquire whose dummy entry was never created.
+
+    The trace shows two local acquires; the protocol observer only ever
+    reported a dummy for the first, so the second would be
+    unrecoverable after a crash.
+    """
+    from repro.checkpoint.dummy import DummyEntry
+    from repro.types import AcquireType
+
+    trace = TraceLog(enabled=True)
+    thread = Tid(2, 0)
+    _mem(trace, 1.0, "acquire", thread, 4, "y", "R", local=True)
+    _mem(trace, 2.0, "acquire", thread, 5, "y", "R", local=True)
+    checker = InvariantChecker(trace=trace, strict=False)
+    checker.on_dummy_created(2, DummyEntry(
+        obj_id="y", ep_acq=ExecutionPoint(thread, 4),
+        local_dep=None, type=AcquireType.READ,
+    ))
+    checker.check_dummy_coverage(trace)
+    return checker.violations
+
+
+def run_seeded_fault(kind: str) -> Tuple[List[RaceFinding],
+                                         List[InvariantViolation]]:
+    """Run one planted-fault scenario; returns (races, violations)."""
+    if kind == "race":
+        return seeded_race(), []
+    if kind == "gc-unsafe":
+        return [], seeded_gc_unsafe()
+    if kind == "dummy-chain":
+        return [], seeded_dummy_chain()
+    raise ValueError(f"unknown seeded fault {kind!r}; "
+                     f"choose from {FAULT_KINDS}")

@@ -1,0 +1,109 @@
+"""Unit tests for the determinism lint."""
+
+from repro.verify.lint import lint_source, lint_tree
+
+
+def rules(source, path="pkg/mod.py"):
+    return [finding.rule for finding in lint_source(path, source)]
+
+
+class TestWallClock:
+    def test_attribute_call_flagged(self):
+        assert rules("import time\nt = time.time()\n") == ["wall-clock"]
+
+    def test_perf_counter_flagged(self):
+        assert rules("import time\nt = time.perf_counter()\n") == ["wall-clock"]
+
+    def test_datetime_now_flagged(self):
+        src = "from datetime import datetime\nd = datetime.now()\n"
+        assert rules(src) == ["wall-clock"]
+
+    def test_from_import_flagged(self):
+        src = "from time import monotonic\nt = monotonic()\n"
+        assert rules(src) == ["wall-clock"]
+
+    def test_from_import_alias_flagged(self):
+        src = "from time import time as wall\nt = wall()\n"
+        assert rules(src) == ["wall-clock"]
+
+    def test_time_sleep_is_fine(self):
+        assert rules("import time\ntime.sleep(1)\n") == []
+
+    def test_exempt_path(self):
+        src = "import time\nt = time.perf_counter()\n"
+        assert lint_source("repro/verify/inline.py", src) == []
+
+
+class TestUnseededRandom:
+    def test_module_level_call_flagged(self):
+        src = "import random\nx = random.random()\n"
+        assert rules(src) == ["unseeded-random"]
+
+    def test_choice_flagged(self):
+        src = "import random\nx = random.choice([1, 2])\n"
+        assert rules(src) == ["unseeded-random"]
+
+    def test_seeded_generator_allowed(self):
+        src = "import random\nrng = random.Random(42)\nx = rng.random()\n"
+        assert rules(src) == []
+
+    def test_from_import_flagged(self):
+        src = "from random import shuffle\nshuffle([1, 2])\n"
+        assert rules(src) == ["unseeded-random"]
+
+    def test_exempt_path(self):
+        src = "import random\nx = random.getrandbits(8)\n"
+        assert lint_source("repro/sim/rng.py", src) == []
+
+
+class TestUnorderedIteration:
+    def test_for_over_set_call_flagged(self):
+        src = "for x in set(items):\n    use(x)\n"
+        assert rules(src) == ["unordered-iteration"]
+
+    def test_for_over_set_literal_flagged(self):
+        src = "for x in {1, 2, 3}:\n    use(x)\n"
+        assert rules(src) == ["unordered-iteration"]
+
+    def test_set_binop_flagged(self):
+        src = "for x in set(a) | set(b):\n    use(x)\n"
+        assert rules(src) == ["unordered-iteration"]
+
+    def test_known_set_attr_flagged(self):
+        src = "for tid in obj.local_readers:\n    use(tid)\n"
+        assert rules(src) == ["unordered-iteration"]
+
+    def test_comprehension_flagged(self):
+        src = "out = [f(x) for x in frozenset(items)]\n"
+        assert rules(src) == ["unordered-iteration"]
+
+    def test_sorted_wrapper_suppresses(self):
+        src = "for x in sorted(set(items)):\n    use(x)\n"
+        assert rules(src) == []
+
+    def test_list_iteration_is_fine(self):
+        src = "for x in [1, 2, 3]:\n    use(x)\n"
+        assert rules(src) == []
+
+
+class TestSuppression:
+    def test_det_allow_marker(self):
+        src = "import time\nt = time.time()  # det: allow\n"
+        assert rules(src) == []
+
+    def test_marker_only_covers_its_line(self):
+        src = ("import time\n"
+               "a = time.time()  # det: allow\n"
+               "b = time.time()\n")
+        assert rules(src) == ["wall-clock"]
+
+
+class TestSyntaxRule:
+    def test_unparsable_source_reported(self):
+        findings = lint_source("bad.py", "def broken(:\n")
+        assert [f.rule for f in findings] == ["syntax"]
+
+
+class TestRealTree:
+    def test_package_is_clean(self):
+        assert lint_tree() == []
