@@ -97,9 +97,9 @@ def phase_restart(store_dir: str, label: str) -> None:
 
 def corrupt_latest_image(store_dir: str, pid: int) -> str:
     """Flip one byte in the middle of pid's most recent on-disk image."""
-    from repro.storage.backend import FileBackend
+    from repro import open_store
 
-    backend = FileBackend(store_dir)
+    backend = open_store(store_dir)
     latest = [info for info in backend.slots(pid) if info.latest]
     assert latest, f"no intact image for P{pid}"
     path = os.path.join(store_dir, f"p{pid}", latest[0].slot)

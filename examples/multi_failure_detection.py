@@ -12,21 +12,16 @@ recovered *and verified* or aborted, never silently inconsistent.
 Run:  python examples/multi_failure_detection.py
 """
 
-from repro import CheckpointPolicy, ClusterConfig, DisomSystem
+from repro import run_workload
 from repro.analysis.report import Table
 from repro.workloads import SyntheticWorkload
 
 
 def run(seed, crashes):
     workload = SyntheticWorkload(rounds=12, objects=5)
-    system = DisomSystem(
-        ClusterConfig(processes=4, seed=seed, spare_nodes=4),
-        CheckpointPolicy(interval=30.0),
-    )
-    workload.setup(system)
-    for pid, when in crashes:
-        system.inject_crash(pid, at_time=when)
-    return workload, system.run()
+    _, result = run_workload(workload, processes=4, seed=seed,
+                             interval=30.0, crashes=crashes, spare_nodes=4)
+    return workload, result
 
 
 def counts(result):

@@ -20,6 +20,7 @@ from repro import (
     DisomSystem,
     Program,
     Release,
+    attach_checkers,
 )
 
 PROCESSES = 4
@@ -61,6 +62,7 @@ def main() -> None:
 
     print("\n== run with a crash of P2 at t=40 ==")
     system = build_system(crash=True)
+    attach_checkers(system)       # EC race + protocol invariant checkers
     result = system.run()
     record = result.recoveries[0]
     print(f"counter = {result.final_objects['counter']} "
@@ -74,6 +76,8 @@ def main() -> None:
           f"pessimistic)")
     assert result.final_objects == baseline.final_objects
     assert not result.invariant_violations
+    assert result.check_report is not None and result.check_report.ok
+    print(f"inline checks: {result.check_report.summary()}")
     print("\nOK: transparent recovery, identical result.")
 
 

@@ -11,7 +11,7 @@ sharing, version chains and all).
 Run:  python examples/sor_resilient.py
 """
 
-from repro import CheckpointPolicy, ClusterConfig, DisomSystem
+from repro import run_workload
 from repro.workloads import SorWorkload
 
 WORKERS = 4
@@ -19,14 +19,10 @@ WORKERS = 4
 
 def run(crash_time=None):
     workload = SorWorkload(rows_per_block=3, cols=10, iterations=5)
-    system = DisomSystem(
-        ClusterConfig(processes=WORKERS, seed=11),
-        CheckpointPolicy(interval=25.0),
-    )
-    workload.setup(system)
-    if crash_time is not None:
-        system.inject_crash(1, at_time=crash_time)
-    result = system.run()
+    crashes = [(1, crash_time)] if crash_time is not None else []
+    system, result = run_workload(workload, processes=WORKERS, seed=11,
+                                  interval=25.0, crashes=crashes,
+                                  spare_nodes=2)
     return workload, system, result
 
 

@@ -10,7 +10,7 @@ tour cost -- is invariant, which is exactly what the example checks.
 Run:  python examples/tsp_crash_recovery.py
 """
 
-from repro import CheckpointPolicy, ClusterConfig, DisomSystem
+from repro import run_workload
 from repro.workloads import TspWorkload
 from repro.workloads.tsp import _best_cost_bruteforce, _distance_matrix
 
@@ -20,14 +20,10 @@ PROCESSES = 4
 
 def run(crash_time=None):
     workload = TspWorkload(cities=CITIES, compute_per_task=6.0)
-    system = DisomSystem(
-        ClusterConfig(processes=PROCESSES, seed=3),
-        CheckpointPolicy(interval=20.0),
-    )
-    workload.setup(system)
-    if crash_time is not None:
-        system.inject_crash(0, at_time=crash_time)  # crash the home process
-    result = system.run()
+    # crash the home process (work queue + bound owner) when asked
+    crashes = [(0, crash_time)] if crash_time is not None else []
+    _, result = run_workload(workload, processes=PROCESSES, seed=3,
+                             interval=20.0, crashes=crashes, spare_nodes=2)
     return workload, result
 
 

@@ -30,6 +30,13 @@ Quickstart::
     assert result.final_objects["counter"] == 40
 """
 
+from repro.api import (
+    attach_checkers,
+    open_store,
+    run_bench,
+    run_experiment,
+    run_workload,
+)
 from repro.checkpoint.policy import CheckpointPolicy, CkpSet
 from repro.cluster.config import ClusterConfig, CrashPlan, RecoveryTiming
 from repro.cluster.system import DisomSystem, RunResult
@@ -47,6 +54,7 @@ from repro.errors import (
 from repro.errors import CheckpointCorruptError, StorageError
 from repro.memory.objects import SharedObjectSpec
 from repro.net.channel import LatencyModel
+from repro.observers import Observers
 from repro.storage import (
     FileBackend,
     MemoryBackend,
@@ -94,6 +102,7 @@ __all__ = [
     "MemoryBackend",
     "MemoryModelError",
     "ObjectId",
+    "Observers",
     "ProcessId",
     "Program",
     "ProgramContext",
@@ -109,7 +118,12 @@ __all__ = [
     "StorageError",
     "StorageFault",
     "Tid",
+    "attach_checkers",
     "make_backend",
+    "open_store",
     "program",
+    "run_bench",
+    "run_experiment",
+    "run_workload",
     "__version__",
 ]

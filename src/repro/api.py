@@ -1,0 +1,175 @@
+"""The public facade: one import surface for the common workflows.
+
+Everything here is re-exported from :mod:`repro`, so user code (and the
+CLI, and the examples) can stay on five verbs without knowing the
+package layout::
+
+    from repro import run_workload, run_experiment, run_bench
+    from repro import attach_checkers, open_store
+
+    system, result = run_workload("synthetic", processes=8, seed=3)
+    report = run_experiment("E2")
+    bench = run_bench(quick=True)
+
+Each function is a thin composition over the underlying subsystems --
+:mod:`repro.cluster`, :mod:`repro.experiments`, :mod:`repro.perf`,
+:mod:`repro.verify` and :mod:`repro.storage` -- with uniform spellings
+for the knobs the CLI exposes (``seed``, ``check``, ``store_dir``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Union
+
+from repro.cluster.system import DisomSystem, RunResult
+from repro.errors import ConfigError
+
+
+def run_workload(
+    workload: Union[str, Any],
+    *,
+    processes: int = 4,
+    seed: int = 7,
+    interval: Optional[float] = 50.0,
+    crashes: Sequence[tuple] = (),
+    check: Optional[bool] = None,
+    store_dir: Optional[str] = None,
+    observers: Optional[Any] = None,
+    baseline: Optional[str] = None,
+    protocol_factory: Optional[Any] = None,
+    spare_nodes: Optional[int] = None,
+    highwater: Optional[int] = None,
+) -> tuple[DisomSystem, RunResult]:
+    """Build and run one cluster execution of ``workload``.
+
+    ``workload`` is a registered workload name (see ``repro list``) or a
+    :class:`~repro.workloads.base.Workload` instance.  ``baseline``
+    selects a fault-tolerance scheme by name (``"coordinated"``,
+    ``"sender-msg-log"``, ...; default the paper's DiSOM protocol) --
+    mutually exclusive with passing a ``protocol_factory`` directly.
+    ``crashes`` is a sequence of ``(pid, at_time)`` fail-stop injections.
+    Returns ``(system, result)``.
+    """
+    from repro.experiments.base import run_workload as _run
+    from repro.workloads import ALL_WORKLOADS
+
+    if isinstance(workload, str):
+        try:
+            workload = ALL_WORKLOADS[workload]()
+        except KeyError:
+            raise ConfigError(
+                f"unknown workload {workload!r}; one of "
+                f"{sorted(ALL_WORKLOADS)}"
+            ) from None
+    if baseline is not None:
+        if protocol_factory is not None:
+            raise ConfigError("pass baseline or protocol_factory, not both")
+        from repro.baselines import ALL_BASELINES
+
+        try:
+            protocol_factory = ALL_BASELINES[baseline]()
+        except KeyError:
+            raise ConfigError(
+                f"unknown baseline {baseline!r}; one of {sorted(ALL_BASELINES)}"
+            ) from None
+    if spare_nodes is None:
+        spare_nodes = max(2, len(tuple(crashes)) + 1)
+    return _run(
+        workload,
+        processes=processes,
+        seed=seed,
+        interval=interval,
+        highwater=highwater,
+        crashes=tuple(crashes),
+        protocol_factory=protocol_factory,
+        spare_nodes=spare_nodes,
+        check=check,
+        store_dir=store_dir,
+        observers=observers,
+    )
+
+
+def run_experiment(
+    experiment: str,
+    *,
+    quick: bool = True,
+    check: bool = False,
+) -> Any:
+    """Run one experiment by id (exact or unique prefix, e.g. ``"E2"``).
+
+    Returns its :class:`~repro.experiments.base.ExperimentResult`.
+    ``check=True`` attaches the inline verification layer to every run
+    the experiment makes.
+    """
+    from repro.experiments import ALL_EXPERIMENTS
+    from repro.experiments.base import set_inline_checking
+
+    matches = [eid for eid in ALL_EXPERIMENTS if eid == experiment]
+    if not matches:
+        matches = [eid for eid in ALL_EXPERIMENTS if eid.startswith(experiment)]
+    if len(matches) != 1:
+        raise ConfigError(
+            f"experiment {experiment!r} matches {matches or 'nothing'}; "
+            f"ids: {list(ALL_EXPERIMENTS)}"
+        )
+    runner = ALL_EXPERIMENTS[matches[0]]
+    set_inline_checking(check)
+    try:
+        if "quick" in runner.__code__.co_varnames:
+            return runner(quick=quick)
+        return runner()
+    finally:
+        set_inline_checking(False)
+
+
+def run_bench(
+    *,
+    quick: bool = True,
+    seed: int = 7,
+    only: Optional[Sequence[str]] = None,
+    repeats: Optional[int] = None,
+    check: bool = False,
+    store_dir: Optional[str] = None,
+    baseline: Optional[Any] = None,
+    progress: Optional[Any] = None,
+) -> Any:
+    """Run the perf suite and return a :class:`~repro.perf.BenchReport`.
+
+    ``only`` filters benchmarks by name prefix; ``baseline`` embeds a
+    prior report (a :class:`~repro.perf.BenchReport` or its dict form)
+    so the result carries speedup-vs-baseline columns.
+    """
+    from repro.perf import make_report, run_suite
+
+    records = run_suite(quick=quick, seed=seed, repeats=repeats, only=only,
+                        store_dir=store_dir, check=check, progress=progress)
+    return make_report(records, mode="quick" if quick else "full", seed=seed,
+                       baseline=baseline)
+
+
+def attach_checkers(system: DisomSystem, strict: bool = False) -> Any:
+    """Attach the inline verification layer to a not-yet-run system.
+
+    Equivalent to constructing with ``ClusterConfig(check=True)``;
+    returns the :class:`~repro.verify.inline.InlineVerifier`.  The
+    verifier's findings land in ``RunResult.check_report``.
+    """
+    from repro.verify.inline import attach
+
+    return attach(system, strict=strict)
+
+
+def open_store(store_dir: str, *, compress: bool = True, fsync: bool = True,
+               incremental: bool = False) -> Any:
+    """Open (creating if needed) a durable on-disk checkpoint store.
+
+    Returns the :class:`~repro.storage.FileBackend` for ``store_dir``,
+    ready to pass as ``DisomSystem(storage_backend=...)`` or to inspect
+    an existing store (``backend.verify()``, ``backend.pids()``).
+    """
+    from repro.storage.backend import make_backend
+
+    if not store_dir:
+        raise ConfigError("open_store requires a store directory path")
+    return make_backend(store_dir, compress=compress, fsync=fsync,
+                        incremental=incremental)

@@ -30,7 +30,23 @@ from repro.baselines.msg_logging import ReceiverMessageLogging, SenderMessageLog
 from repro.baselines.jf_cic import JanssensFuchsProtocol
 from repro.baselines.coordinated import CoordinatedProtocol
 
+#: Baseline registry: name -> zero-arg callable returning the protocol
+#: factory for DisomSystem(protocol_factory=...).  ``"disom"`` is the
+#: paper's own protocol (factory ``None``).  The CLI's ``--baseline``
+#: flag and the api facade's ``baseline=`` keyword both resolve here.
+ALL_BASELINES = {
+    "disom": lambda: None,
+    "none": NullProtocol.factory,
+    "richard-singhal": RichardSinghalProtocol.factory,
+    "stumm-zhou": StummZhouProtocol.factory,
+    "receiver-msg-log": ReceiverMessageLogging.factory,
+    "sender-msg-log": SenderMessageLogging.factory,
+    "janssens-fuchs": JanssensFuchsProtocol.factory,
+    "coordinated": CoordinatedProtocol.factory,
+}
+
 __all__ = [
+    "ALL_BASELINES",
     "CoordinatedProtocol",
     "FaultToleranceProtocol",
     "JanssensFuchsProtocol",

@@ -36,6 +36,16 @@ class DummyEntry:
     p_log: Optional[ProcessId] = None
     type: AcquireType = AcquireType.READ
 
+    # Fast pickle path; see repro.types.Tid.__getstate__ for the contract.
+    def __getstate__(self) -> list:
+        return [self.obj_id, self.ep_acq, self.local_dep, self.p_log, self.type]
+
+    def __setstate__(self, state: list) -> None:
+        for name, value in zip(
+            ("obj_id", "ep_acq", "local_dep", "p_log", "type"), state
+        ):
+            object.__setattr__(self, name, value)
+
     def stored_at(self, pid: ProcessId) -> "DummyEntry":
         """Copy with ``Plog`` set; made by the receiver when it stores the entry."""
         return replace(self, p_log=pid)

@@ -13,6 +13,12 @@ Three stores grow during the failure-free period and are trimmed when a
    contains the corresponding threadSet pairs).
 
 All functions return the number of items removed, for the E9 experiment.
+
+The ``observer`` keyword arguments are a deprecated hookup point kept as
+shims: the protocol passes its ``invariant_observer`` slot through, which
+the unified :class:`repro.observers.Observers` registry occupies when
+configured (``ClusterConfig(observers=...)``).  Register GC auditors
+there rather than threading an observer in by hand.
 """
 
 from __future__ import annotations

@@ -30,6 +30,14 @@ class ThreadSetPair:
     ep_acq: ExecutionPoint
     ep_prd: ExecutionPoint
 
+    # Fast pickle path; see repro.types.Tid.__getstate__ for the contract.
+    def __getstate__(self) -> list:
+        return [self.ep_acq, self.ep_prd]
+
+    def __setstate__(self, state: list) -> None:
+        object.__setattr__(self, "ep_acq", state[0])
+        object.__setattr__(self, "ep_prd", state[1])
+
     def __str__(self) -> str:
         return f"<acq={self.ep_acq},prd={self.ep_prd}>"
 
@@ -60,6 +68,11 @@ class LogEntry:
     #: removed pairs for readers whose own checkpoints cover their
     #: acquires; a recovering writer needs the full set to (re-)invalidate.
     copy_set_at_grant: Optional[frozenset] = None
+    #: Size this entry was accounted at when appended (perf bookkeeping).
+    _accounted_bytes: int = field(default=0, repr=False, compare=False)
+    #: Cached ``payload_size(obj_data)``; the data is an immutable
+    #: snapshot, so its wire size never changes after construction.
+    _data_bytes: Optional[int] = field(default=None, repr=False, compare=False)
 
     def add_access(self, ep_acq: ExecutionPoint, ep_prd: ExecutionPoint) -> None:
         self.thread_set.append(ThreadSetPair(ep_acq, ep_prd))
@@ -68,11 +81,19 @@ class LogEntry:
         return copy.deepcopy(self.obj_data)
 
     def size_bytes(self) -> int:
-        """Approximate memory footprint: data plus bookkeeping."""
-        return payload_size(self.obj_data) + 40 + 32 * len(self.thread_set)
+        """Approximate memory footprint: data plus bookkeeping.
+
+        The data part is cached: ``obj_data`` is a snapshot taken at
+        release time and never mutated afterwards, while sizing it means
+        pickling -- the dominant cost of log accounting.
+        """
+        data_bytes = self._data_bytes
+        if data_bytes is None:
+            data_bytes = self._data_bytes = payload_size(self.obj_data)
+        return data_bytes + 40 + 32 * len(self.thread_set)
 
     def clone(self) -> "LogEntry":
-        return LogEntry(
+        cloned = LogEntry(
             obj_id=self.obj_id,
             version=self.version,
             obj_data=copy.deepcopy(self.obj_data),
@@ -83,6 +104,8 @@ class LogEntry:
             next_owner_ep=self.next_owner_ep,
             copy_set_at_grant=self.copy_set_at_grant,
         )
+        cloned._data_bytes = self._data_bytes
+        return cloned
 
     def __str__(self) -> str:
         nxt = f"->{self.next_owner}" if self.next_owner is not None else ""
@@ -104,9 +127,18 @@ class ProcessLog:
         self.appended = 0
         #: Total bytes ever logged (GC does not decrease this).
         self.appended_bytes = 0
+        #: Bytes currently held (append minus GC), accounted at each
+        #: entry's size when it entered/left the log -- threadSet pairs
+        #: added later are not re-counted, so this slightly under-reads
+        #: a long-lived entry.  ``peak_bytes`` is its high-water mark,
+        #: the quantity the perf reports track as "peak log bytes".
+        self.live_bytes = 0
+        self.peak_bytes = 0
         #: Optional verification observer with ``on_log_append(entry)``
         #: and ``on_log_remove(entry)`` methods (duck-typed; see
-        #: :mod:`repro.verify.invariants`).
+        #: :mod:`repro.verify.invariants`).  Deprecated hookup point:
+        #: prefer registering on :class:`repro.observers.Observers` via
+        #: ``ClusterConfig(observers=...)``.
         self.observer: Optional[Any] = None
 
     def append(self, entry: LogEntry) -> None:
@@ -117,8 +149,13 @@ class ProcessLog:
             )
         self._entries.append(entry)
         per_obj.append(entry)
+        size = entry.size_bytes()
+        entry._accounted_bytes = size
         self.appended += 1
-        self.appended_bytes += entry.size_bytes()
+        self.appended_bytes += size
+        self.live_bytes += size
+        if self.live_bytes > self.peak_bytes:
+            self.peak_bytes = self.live_bytes
         if self.observer is not None:
             self.observer.on_log_append(entry)
 
@@ -151,6 +188,7 @@ class ProcessLog:
         per_obj = self._by_object.get(entry.obj_id, [])
         if entry in per_obj:
             per_obj.remove(entry)
+        self.live_bytes -= getattr(entry, "_accounted_bytes", entry.size_bytes())
         if self.observer is not None:
             self.observer.on_log_remove(entry)
 
@@ -170,6 +208,7 @@ class ProcessLog:
     def restore(self, entries: list[LogEntry]) -> None:
         self._entries = []
         self._by_object = {}
+        self.live_bytes = 0
         for entry in entries:
             self.append(entry.clone())
         # restore() replays appends; undo the double counting.

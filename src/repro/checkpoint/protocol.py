@@ -112,6 +112,9 @@ class DisomCheckpointProtocol(FaultToleranceProtocol):
         #: Optional verification observer (duck-typed; see
         #: :mod:`repro.verify.invariants`).  Notified on dummy creation,
         #: CkpSet announcements, GC drops and checkpoint restores.
+        #: Deprecated hookup point: prefer registering on
+        #: :class:`repro.observers.Observers` via
+        #: ``ClusterConfig(observers=...)``, which occupies this slot.
         self.invariant_observer: Optional[Any] = None
 
     # ------------------------------------------------------------------

@@ -14,42 +14,34 @@
     python -m repro check --seed-fault race       # prove the checker bites
     python -m repro experiments E2 E3 --full      # print experiment tables
     python -m repro experiments E1 --check        # experiments under checking
+    python -m repro experiments E2 --json out.json --seed 11
+    python -m repro bench --quick                 # perf suite -> BENCH_perf.json
+    python -m repro bench --against BENCH_perf.json --tolerance 0.2
     python -m repro storage inspect --store-dir /tmp/ckpts
     python -m repro storage verify --store-dir /tmp/ckpts
     python -m repro storage gc --store-dir /tmp/ckpts
+
+Flag spelling is uniform across subcommands: ``--seed`` (RNG seed),
+``--check`` (inline verification), ``--store-dir`` (durable on-disk
+checkpoint store), ``--json`` (machine-readable report path).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional
 
 from repro import CheckpointPolicy, ClusterConfig, DisomSystem
 from repro.analysis.report import Table
 from repro.analysis.timeline import render_timeline
-from repro.baselines import (
-    CoordinatedProtocol,
-    JanssensFuchsProtocol,
-    NullProtocol,
-    ReceiverMessageLogging,
-    RichardSinghalProtocol,
-    SenderMessageLogging,
-    StummZhouProtocol,
-)
+from repro.baselines import ALL_BASELINES
 from repro.experiments import ALL_EXPERIMENTS
 from repro.workloads import ALL_WORKLOADS
 
-BASELINES = {
-    "disom": lambda: None,
-    "none": NullProtocol.factory,
-    "richard-singhal": RichardSinghalProtocol.factory,
-    "stumm-zhou": StummZhouProtocol.factory,
-    "receiver-msg-log": ReceiverMessageLogging.factory,
-    "sender-msg-log": SenderMessageLogging.factory,
-    "janssens-fuchs": JanssensFuchsProtocol.factory,
-    "coordinated": CoordinatedProtocol.factory,
-}
+#: Back-compat alias; the registry lives in :mod:`repro.baselines` now.
+BASELINES = ALL_BASELINES
 
 
 def _parse_crash(spec: str) -> tuple[int, float]:
@@ -93,6 +85,8 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--check", action="store_true",
                           help="attach the inline verification layer (race "
                                "detector + invariant checker)")
+    workload.add_argument("--json", default=None, metavar="PATH",
+                          help="also write the run summary as JSON")
 
     check = sub.add_parser(
         "check",
@@ -115,6 +109,11 @@ def build_parser() -> argparse.ArgumentParser:
                                                 "dummy-chain"), default=None,
                        help="plant a known fault and verify it is detected "
                             "(exits nonzero when the fault is flagged)")
+    check.add_argument("--store-dir", default=None, metavar="DIR",
+                       help="durable on-disk checkpoint store for the "
+                            "checked run")
+    check.add_argument("--json", default=None, metavar="PATH",
+                       help="also write the check report as JSON")
 
     experiments = sub.add_parser("experiments", help="run experiment tables")
     experiments.add_argument("ids", nargs="*", help="experiment id prefixes")
@@ -123,6 +122,44 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--check", action="store_true",
                              help="run every experiment workload with the "
                                   "inline verification layer attached")
+    experiments.add_argument("--seed", type=int, default=None,
+                             help="override every experiment's per-run seed")
+    experiments.add_argument("--store-dir", default=None, metavar="DIR",
+                             help="route all experiment checkpoints through "
+                                  "a durable on-disk store")
+    experiments.add_argument("--json", default=None, metavar="PATH",
+                             help="also write per-experiment findings as JSON")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the perf suite and write a machine-readable report")
+    mode = bench.add_mutually_exclusive_group()
+    mode.add_argument("--quick", action="store_true", default=True,
+                      help="small benchmark sizes (the default)")
+    mode.add_argument("--full", dest="quick", action="store_false",
+                      help="full benchmark sizes")
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument("--json", default="BENCH_perf.json", metavar="PATH",
+                       help="report output path (default: BENCH_perf.json)")
+    bench.add_argument("--only", action="append", default=[],
+                       metavar="PREFIX",
+                       help="run only benchmarks whose name starts with "
+                            "PREFIX (repeatable)")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="runs per benchmark, best-of reported "
+                            "(default: 3 quick / 5 full)")
+    bench.add_argument("--against", default=None, metavar="REPORT",
+                       help="baseline report to embed and gate against")
+    bench.add_argument("--tolerance", type=float, default=0.20,
+                       help="allowed normalized slowdown vs --against "
+                            "before exiting nonzero (default 0.20)")
+    bench.add_argument("--check", action="store_true",
+                       help="run workload benchmarks with inline "
+                            "verification attached (slower; not comparable "
+                            "to unchecked baselines)")
+    bench.add_argument("--store-dir", default=None, metavar="DIR",
+                       help="durable checkpoint store for workload "
+                            "benchmarks (measures the on-disk write path)")
 
     storage = sub.add_parser(
         "storage", help="inspect an on-disk checkpoint store")
@@ -174,20 +211,38 @@ def cmd_demo(seed: int) -> int:
 
 
 def cmd_workload(args: argparse.Namespace) -> int:
+    from repro.api import run_workload
+
     workload = ALL_WORKLOADS[args.name]()
-    factory = BASELINES[args.baseline]()
-    spare = max(2, len(args.crash) + 1)
-    system = DisomSystem(
-        ClusterConfig(processes=args.processes, seed=args.seed,
-                      spare_nodes=spare, trace=args.timeline,
-                      store_dir=args.store_dir, check=args.check),
-        CheckpointPolicy(interval=args.interval),
-        protocol_factory=factory,
-    )
-    workload.setup(system)
-    for pid, when in args.crash:
-        system.inject_crash(pid, at_time=when)
-    result = system.run()
+    if args.timeline:
+        # The facade does not expose tracing (a CLI-only presentation
+        # concern); build the system directly for the timeline case.
+        factory = ALL_BASELINES[args.baseline]()
+        system = DisomSystem(
+            ClusterConfig(processes=args.processes, seed=args.seed,
+                          spare_nodes=max(2, len(args.crash) + 1),
+                          trace=True, store_dir=args.store_dir,
+                          check=args.check),
+            CheckpointPolicy(interval=args.interval),
+            protocol_factory=factory,
+        )
+        workload.setup(system)
+        for pid, when in args.crash:
+            system.inject_crash(pid, at_time=when)
+        result = system.run()
+    else:
+        from repro.errors import InvariantViolation
+
+        try:
+            system, result = run_workload(
+                workload, processes=args.processes, seed=args.seed,
+                interval=args.interval, crashes=args.crash,
+                check=args.check, store_dir=args.store_dir,
+                baseline=args.baseline,
+            )
+        except InvariantViolation as exc:
+            print(f"inline verification failed: {exc}")
+            return 1
 
     if args.timeline:
         print(render_timeline(system.kernel.trace))
@@ -232,6 +287,25 @@ def cmd_workload(args: argparse.Namespace) -> int:
             print(problem)
     ok = (result.completed and (check is None or check.ok)
           and (result.check_report is None or result.check_report.ok))
+    if args.json:
+        summary = {
+            "workload": args.name,
+            "baseline": args.baseline,
+            "processes": args.processes,
+            "seed": args.seed,
+            "completed": result.completed,
+            "aborted": result.aborted,
+            "verified": check.ok if check else None,
+            "duration": result.duration,
+            "net": result.net,
+            "stable_writes": result.stable_writes,
+            "peak_log_bytes": result.peak_log_bytes,
+            "recoveries": len(result.recoveries),
+            "invariant_violations": list(result.invariant_violations),
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2)
+            handle.write("\n")
     return 0 if (ok or result.aborted) else 1
 
 
@@ -267,7 +341,8 @@ def cmd_check(args: argparse.Namespace) -> int:
     spare = max(2, len(args.crash) + 1)
     system = DisomSystem(
         ClusterConfig(processes=args.processes, seed=args.seed,
-                      spare_nodes=spare, check=True),
+                      spare_nodes=spare, check=True,
+                      store_dir=args.store_dir),
         CheckpointPolicy(interval=args.interval),
     )
     workload.setup(system)
@@ -292,6 +367,22 @@ def cmd_check(args: argparse.Namespace) -> int:
         failures += 1
     if not report.ok:
         failures += 1
+    if args.json:
+        summary = {
+            "workload": args.workload,
+            "processes": args.processes,
+            "seed": args.seed,
+            "lint_findings": len(findings),
+            "completed": result.completed,
+            "verified": verified.ok if verified else None,
+            "races": [str(race) for race in report.races],
+            "violations": [str(v) for v in report.violations],
+            "events_checked": report.events_checked,
+            "ok": not failures,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2)
+            handle.write("\n")
     return 1 if failures else 0
 
 
@@ -336,12 +427,98 @@ def cmd_storage(action: str, store_dir: str) -> int:
     return 0
 
 
-def cmd_experiments(ids: list[str], full: bool, check: bool = False) -> int:
-    from repro.experiments.runner import main as runner_main
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.base import (
+        set_experiment_defaults,
+        set_inline_checking,
+    )
 
-    argv = list(ids) + (["--full"] if full else []) + (
-        ["--check"] if check else [])
-    return runner_main(argv)
+    set_inline_checking(args.check)
+    set_experiment_defaults(seed=args.seed, store_dir=args.store_dir)
+    failures = 0
+    findings: dict = {}
+    try:
+        for exp_id, runner in ALL_EXPERIMENTS.items():
+            if args.ids and not any(exp_id.startswith(w) for w in args.ids):
+                continue
+            try:
+                result = (runner(quick=not args.full)
+                          if "quick" in runner.__code__.co_varnames
+                          else runner())
+            except Exception as exc:  # pragma: no cover - surfaced to the CLI
+                print(f"### {exp_id}: FAILED with {type(exc).__name__}: {exc}")
+                findings[exp_id] = {"failed": f"{type(exc).__name__}: {exc}"}
+                failures += 1
+                continue
+            print(result.render())
+            print()
+            findings[exp_id] = {
+                "title": result.title,
+                "claim_holds": result.claim_holds,
+                "findings": result.findings,
+            }
+            if result.claim_holds is False:
+                failures += 1
+    finally:
+        set_inline_checking(False)
+        set_experiment_defaults()
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(findings, handle, indent=2, default=str)
+            handle.write("\n")
+    return 1 if failures else 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.api import run_bench
+    from repro.perf import compare_reports, load_report, write_report
+
+    baseline_report = None
+    if args.against:
+        baseline_report = load_report(args.against)
+    report = run_bench(
+        quick=args.quick,
+        seed=args.seed,
+        only=args.only or None,
+        repeats=args.repeats,
+        check=args.check,
+        store_dir=args.store_dir,
+        baseline=baseline_report.as_dict() if baseline_report else None,
+        progress=lambda name: print(f"  bench {name} ..."),
+    )
+    write_report(report, args.json)
+
+    table = Table(f"bench ({report.mode}, seed={report.seed}, "
+                  f"rev={report.git_rev})",
+                  ["benchmark", "kind", "wall ms", "events/s", "msgs/s",
+                   "peak log B", "vs baseline"])
+    speedups = report.speedups_vs_baseline()
+    for bench in report.benchmarks:
+        speedup = speedups.get(bench.name)
+        table.add_row(
+            bench.name, bench.kind,
+            round(bench.wall_seconds * 1000.0, 2),
+            int(bench.events_per_sec) if bench.events else "-",
+            int(bench.messages_per_sec) if bench.messages else "-",
+            bench.peak_log_bytes or "-",
+            f"{speedup:.2f}x" if speedup else "-",
+        )
+    print(table.render())
+    print(f"report written to {args.json} "
+          f"(calibration {report.calibration_seconds:.4f}s)")
+
+    if baseline_report is not None:
+        regressions = compare_reports(report, baseline_report,
+                                      tolerance=args.tolerance)
+        if regressions:
+            print()
+            print(f"{len(regressions)} regression(s) beyond "
+                  f"{args.tolerance:.0%} vs {args.against}:")
+            for regression in regressions:
+                print(f"  {regression}")
+            return 1
+        print(f"no regression beyond {args.tolerance:.0%} vs {args.against}")
+    return 0
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -355,7 +532,9 @@ def main(argv: Optional[list[str]] = None) -> int:
     if args.command == "check":
         return cmd_check(args)
     if args.command == "experiments":
-        return cmd_experiments(args.ids, args.full, args.check)
+        return cmd_experiments(args)
+    if args.command == "bench":
+        return cmd_bench(args)
     if args.command == "storage":
         return cmd_storage(args.action, args.store_dir)
     raise AssertionError("unreachable")

@@ -7,6 +7,7 @@ from typing import Optional
 
 from repro.errors import ConfigError
 from repro.net.channel import LatencyModel
+from repro.observers import Observers
 from repro.types import ProcessId
 
 
@@ -78,6 +79,13 @@ class ClusterConfig:
     #: Attach the inline verification layer (race detector + protocol
     #: invariant checker, see :mod:`repro.verify`); implies tracing.
     check: bool = False
+    #: Unified observer registry (see :mod:`repro.observers`): every
+    #: process -- including recovery hosts created mid-run -- is wired
+    #: to it, replacing the deprecated per-process hookups
+    #: (``ProcessLog.observer``, ``invariant_observer``, the gc
+    #: ``observer`` kwargs).  ``check=True`` registers the invariant
+    #: checker on the same registry, so both compose.
+    observers: Optional[Observers] = None
 
     def __post_init__(self) -> None:
         if self.processes < 1:

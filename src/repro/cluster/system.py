@@ -79,6 +79,9 @@ class RunResult:
     #: when the run was checked; its violations are also merged into
     #: ``invariant_violations`` so ``ok`` reflects them.
     check_report: Optional[Any] = None
+    #: Sum over processes of each volatile log's high-water byte mark
+    #: (see ProcessLog.peak_bytes); the perf reports' "peak log bytes".
+    peak_log_bytes: int = 0
 
     @property
     def ok(self) -> bool:
@@ -146,6 +149,20 @@ class DisomSystem:
         #: Inline verifier (repro.verify.inline.InlineVerifier), attached
         #: by verify.inline.attach() or the config's ``check`` flag.
         self.verifier: Optional[Any] = None
+        #: Unified observer registry (repro.observers.Observers).  Uses
+        #: the config's instance when given so callers can pre-register
+        #: listeners; otherwise a fresh empty one that the verifier (or
+        #: anyone else, post-construction) can register on.
+        from repro.observers import Observers
+
+        self.observers = (self.config.observers
+                          if self.config.observers is not None
+                          else Observers())
+        #: Wire processes to the registry eagerly only when the caller
+        #: supplied it via config; an empty internal registry is wired
+        #: lazily by whoever registers on it (keeps the no-observer hot
+        #: path free of fan-out calls).
+        self._wire_observers = self.config.observers is not None
 
         for pid in self.config.pids():
             self._create_process(pid)
@@ -172,8 +189,10 @@ class DisomSystem:
         process.engine.grant_gate = self.try_claim_grant
         process.engine.acquire_observer = self._note_acquire
         self.network.register(pid, process)
+        if self._wire_observers:
+            # Recovery hosts are created mid-run; they need wiring too.
+            self.observers.attach_to(process)
         if self.verifier is not None:
-            # Recovery hosts are created mid-run; they need observers too.
             self.verifier.attach_process(process)
         return process
 
@@ -457,6 +476,10 @@ class DisomSystem:
         if self.verifier is not None:
             check_report = self.verifier.finalize()
             violations.extend(check_report.problem_strings())
+        peak_log_bytes = 0
+        for process in self.processes.values():
+            log = getattr(process.checkpoint_protocol, "log", None)
+            peak_log_bytes += getattr(log, "peak_bytes", 0)
         return RunResult(
             completed=completed,
             aborted=self.aborted,
@@ -473,6 +496,7 @@ class DisomSystem:
             invariant_violations=violations,
             storage=self.stable_store.storage_counters(),
             check_report=check_report,
+            peak_log_bytes=peak_log_bytes,
         )
 
     def gather_final_objects(self) -> dict[ObjectId, Any]:

@@ -17,11 +17,32 @@ from repro.workloads.base import Workload
 #: without threading a flag through each experiment function).
 CHECK_INLINE = False
 
+#: Module-wide overrides set by ``repro experiments --seed/--store-dir``
+#: (same pattern as :data:`CHECK_INLINE`): ``None`` leaves each
+#: experiment's own defaults in force.
+SEED_OVERRIDE: Optional[int] = None
+STORE_DIR_DEFAULT: Optional[str] = None
+
 
 def set_inline_checking(enabled: bool) -> None:
     """Enable/disable inline verification for subsequent run_workload calls."""
     global CHECK_INLINE
     CHECK_INLINE = enabled
+
+
+def set_experiment_defaults(
+    seed: Optional[int] = None,
+    store_dir: Optional[str] = None,
+) -> None:
+    """Set module-wide seed/store-dir overrides for subsequent runs.
+
+    ``seed`` replaces every experiment's per-run seed (useful to probe
+    seed sensitivity from the CLI); ``store_dir`` routes all checkpoints
+    through a durable on-disk store.  ``None`` clears an override.
+    """
+    global SEED_OVERRIDE, STORE_DIR_DEFAULT
+    SEED_OVERRIDE = seed
+    STORE_DIR_DEFAULT = store_dir
 
 
 @dataclass
@@ -56,17 +77,25 @@ def run_workload(
     gc_transport: str = "piggyback",
     dummy_transport: str = "piggyback",
     check: Optional[bool] = None,
+    store_dir: Optional[str] = None,
+    observers=None,
 ) -> tuple[DisomSystem, RunResult]:
     """Build, run and return one configured cluster execution.
 
     ``check=None`` falls back to the module default (:data:`CHECK_INLINE`);
     when effective, the inline verifier rides along and any race or
-    invariant violation it finds fails the experiment.
+    invariant violation it finds fails the experiment.  ``seed`` and
+    ``store_dir`` likewise yield to the module overrides installed by
+    :func:`set_experiment_defaults`.  ``observers`` is an optional
+    :class:`repro.observers.Observers` registry wired to every process.
     """
     effective_check = CHECK_INLINE if check is None else check
+    effective_seed = SEED_OVERRIDE if SEED_OVERRIDE is not None else seed
+    effective_store = store_dir if store_dir is not None else STORE_DIR_DEFAULT
     system = DisomSystem(
-        ClusterConfig(processes=processes, seed=seed, spare_nodes=spare_nodes,
-                      check=effective_check),
+        ClusterConfig(processes=processes, seed=effective_seed,
+                      spare_nodes=spare_nodes, check=effective_check,
+                      store_dir=effective_store, observers=observers),
         CheckpointPolicy(interval=interval, log_highwater=highwater,
                          gc_transport=gc_transport,
                          dummy_transport=dummy_transport),

@@ -45,7 +45,8 @@ class Channel:
     later send can never overtake an earlier one.
     """
 
-    __slots__ = ("src", "dst", "model", "_rng", "_last_delivery", "delivered")
+    __slots__ = ("src", "dst", "model", "_rng", "_last_delivery", "delivered",
+                 "_base", "_per_byte", "_jitter")
 
     def __init__(
         self,
@@ -60,11 +61,27 @@ class Channel:
         self._rng = rng
         self._last_delivery = 0.0
         self.delivered = 0
+        # The model is frozen; cache its scalars so the per-send fast
+        # path below is pure float arithmetic with no attribute chain.
+        self._base = model.base
+        self._per_byte = model.per_byte
+        self._jitter = model.jitter
 
     def delivery_time(self, now: float, message: Message) -> float:
-        """Compute (and reserve) the delivery time for ``message`` sent at ``now``."""
-        latency = self.model.latency_for(message.total_bytes(), self._rng)
-        when = max(now + latency, self._last_delivery)
+        """Compute (and reserve) the delivery time for ``message`` sent at ``now``.
+
+        The common (jitter-free) configuration takes the inline fast
+        path; the RNG stream is only consulted -- lazily -- when jitter
+        is actually configured, so deterministic runs never pay for a
+        latency sample they do not use.
+        """
+        if self._jitter > 0:
+            latency = self.model.latency_for(message.total_bytes(), self._rng)
+        else:
+            latency = self._base + self._per_byte * message.total_bytes()
+        when = now + latency
+        if when < self._last_delivery:
+            when = self._last_delivery
         self._last_delivery = when
         self.delivered += 1
         return when

@@ -127,7 +127,16 @@ _msg_counter = itertools.count(1)
 
 @dataclass(slots=True)
 class Message:
-    """One network message."""
+    """One network message.
+
+    Byte sizes are computed lazily and cached: a message's payload and
+    piggyback are fixed once it is handed to the network (it is "on the
+    wire"), yet its size is consulted several times per send -- by the
+    stats counters, the latency model and the trace.  Sizing dominates
+    the simulator's send path (it pickles the payload), so the cache is
+    a significant win.  Call :meth:`invalidate_sizes` in the rare case a
+    test mutates a payload after sizing.
+    """
 
     src: ProcessId
     dst: ProcessId
@@ -137,19 +146,34 @@ class Message:
     msg_id: int = field(default_factory=lambda: next(_msg_counter))
     #: Filled in by the network at send time.
     send_time: float = -1.0
+    _pay_bytes: Optional[int] = field(default=None, repr=False, compare=False)
+    _pig_bytes: Optional[int] = field(default=None, repr=False, compare=False)
 
     @property
     def layer(self) -> str:
         return layer_of(self.kind)
 
     def payload_bytes(self) -> int:
-        return HEADER_BYTES + payload_size(self.payload)
+        size = self._pay_bytes
+        if size is None:
+            size = self._pay_bytes = HEADER_BYTES + payload_size(self.payload)
+        return size
 
     def piggyback_bytes(self) -> int:
-        return self.piggyback.size() if self.piggyback is not None else 0
+        size = self._pig_bytes
+        if size is None:
+            size = self._pig_bytes = (
+                self.piggyback.size() if self.piggyback is not None else 0
+            )
+        return size
 
     def total_bytes(self) -> int:
         return self.payload_bytes() + self.piggyback_bytes()
+
+    def invalidate_sizes(self) -> None:
+        """Drop cached sizes after an in-place payload/piggyback edit."""
+        self._pay_bytes = None
+        self._pig_bytes = None
 
     def __str__(self) -> str:
         pig = ""

@@ -103,27 +103,41 @@ class Network:
         return channel
 
     def send(self, message: Message) -> None:
-        """Send ``message``; delivery is scheduled on the kernel."""
-        if message.src == message.dst:
+        """Send ``message``; delivery is scheduled on the kernel.
+
+        This is the simulator's hottest protocol path (every coherence
+        interaction crosses it), so it avoids redundant work: the channel
+        lookup is a single dict probe (misses fall back to the builder),
+        message sizes are computed once and cached on the message, and
+        the trace row is only built when tracing is on.
+        """
+        src = message.src
+        dst = message.dst
+        if src == dst:
             raise ConfigError(
                 f"self-send not allowed ({message}); local interactions "
                 "must not go through the network"
             )
-        if message.dst not in self._endpoints:
+        if dst not in self._endpoints:
             raise SimulationError(f"send to unknown process: {message}")
-        if message.src in self._crashed:
+        if src in self._crashed:
             # A crashed process cannot put new messages on the wire.
-            raise SimulationError(f"crashed process {message.src} tried to send {message}")
-        message.send_time = self.kernel.now
+            raise SimulationError(f"crashed process {src} tried to send {message}")
+        kernel = self.kernel
+        message.send_time = now = kernel.clock.now
         self.stats.record_send(message)
-        for hook in self.send_hooks:
-            hook(message)
-        channel = self._channel(message.src, message.dst)
-        when = channel.delivery_time(self.kernel.now, message)
+        if self.send_hooks:
+            for hook in self.send_hooks:
+                hook(message)
+        channel = self._channels.get((src, dst))
+        if channel is None:
+            channel = self._channel(src, dst)
+        when = channel.delivery_time(now, message)
         self.in_flight += 1
-        self.kernel.schedule_at(when, self._deliver, message, label=str(message.kind))
-        self.kernel.trace.emit(self.kernel.now, "net", f"send {message}",
-                               bytes=message.total_bytes())
+        kernel.queue.push(when, self._deliver, (message,), message.kind.value)
+        trace = kernel.trace
+        if trace.enabled:
+            trace.emit(now, "net", f"send {message}", bytes=message.total_bytes())
 
     def broadcast(self, src: ProcessId, make_message: Callable[[ProcessId], Message]) -> int:
         """Logical broadcast: send one message to every other registered process.
@@ -143,12 +157,16 @@ class Network:
 
     def _deliver(self, message: Message) -> None:
         self.in_flight -= 1
-        if message.dst in self._crashed or message.dst not in self._endpoints:
+        trace = self.kernel.trace
+        endpoint = self._endpoints.get(message.dst)
+        if endpoint is None or message.dst in self._crashed:
             self.stats.record_drop(message)
-            self.kernel.trace.emit(self.kernel.now, "net", f"drop {message} (dst crashed)")
+            if trace.enabled:
+                trace.emit(self.kernel.now, "net", f"drop {message} (dst crashed)")
         else:
-            self.kernel.trace.emit(self.kernel.now, "net", f"recv {message}")
-            self._endpoints[message.dst].deliver(message)
+            if trace.enabled:
+                trace.emit(self.kernel.now, "net", f"recv {message}")
+            endpoint.deliver(message)
         if self.in_flight == 0:
             for hook in self.drained_hooks:
                 hook()

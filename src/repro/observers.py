@@ -1,0 +1,179 @@
+"""Unified protocol observation: one registration object, many listeners.
+
+Historically the verification layer hooked into the protocol through
+three ad-hoc points, each wired by hand per process:
+
+* ``ProcessLog.observer`` -- pid-less append/remove notifications,
+  requiring a per-process adapter to re-attach the pid;
+* ``DisomCheckpointProtocol.invariant_observer`` -- dummy creation,
+  CkpSet announcements and checkpoint restores;
+* the ``observer`` keyword arguments of :mod:`repro.checkpoint.gc` --
+  GC drop notifications (routed through ``invariant_observer``).
+
+:class:`Observers` collapses them: build one, register any number of
+listeners on it, and hand it to the cluster via
+``ClusterConfig(observers=...)``.  The system wires every process --
+including recovery hosts created mid-run -- to the same instance, which
+fans each notification out to every listener that implements the
+corresponding method (listeners are duck-typed; unimplemented callbacks
+are simply skipped).
+
+The old hookup points still function as deprecated shims -- ``Observers``
+occupies them rather than replacing them -- so existing code that sets
+``log.observer`` or ``protocol.invariant_observer`` directly keeps
+working, but new code should register here instead.
+
+Listener surface (all optional)::
+
+    on_log_append(pid, entry)            # regular log entry appended
+    on_log_remove(pid, entry)            # regular log entry GC'd/removed
+    on_restore(pid)                      # checkpoint restore rewound the log
+    on_dummy_created(pid, dummy)         # local acquire recorded a dummy
+    on_ckp_set(ckp_set)                  # CkpSet announced after a checkpoint
+    on_gc_pair_drop(entry, pair, ckp_set)    # threadSet pair dropped by GC
+    on_gc_dummy_drop(dummy, ckp_set)         # dummy entry dropped by GC
+    on_gc_dep_drop(tid, dep, ckp_set)        # depSet entry dropped by GC
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+#: Every callback a listener may implement, in one place so registration
+#: and dispatch cannot drift apart.
+CALLBACK_NAMES = (
+    "on_log_append",
+    "on_log_remove",
+    "on_restore",
+    "on_dummy_created",
+    "on_ckp_set",
+    "on_gc_pair_drop",
+    "on_gc_dummy_drop",
+    "on_gc_dep_drop",
+)
+
+
+class _BoundLogObserver:
+    """Adapter presenting the pid-less ``ProcessLog.observer`` protocol.
+
+    ``ProcessLog`` does not know which process owns it; the system binds
+    one of these per process so log notifications reach the registry
+    with the pid attached.
+    """
+
+    __slots__ = ("observers", "pid")
+
+    def __init__(self, observers: "Observers", pid: int) -> None:
+        self.observers = observers
+        self.pid = pid
+
+    def on_log_append(self, entry: Any) -> None:
+        self.observers.on_log_append(self.pid, entry)
+
+    def on_log_remove(self, entry: Any) -> None:
+        self.observers.on_log_remove(self.pid, entry)
+
+
+class Observers:
+    """Registry and fan-out dispatcher for protocol observation callbacks.
+
+    Dispatch cost is one list scan per event over only the listeners
+    that implement that event's callback, so a registry with, say, a
+    single GC auditor adds nothing to the log-append hot path.
+    """
+
+    def __init__(self, *listeners: Any) -> None:
+        self._listeners: List[Any] = []
+        self._targets: dict[str, List[Any]] = {
+            name: [] for name in CALLBACK_NAMES
+        }
+        for listener in listeners:
+            self.register(listener)
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, listener: Any) -> Any:
+        """Add ``listener``; returns it for chaining.  Idempotent."""
+        if any(existing is listener for existing in self._listeners):
+            return listener
+        self._listeners.append(listener)
+        for name in CALLBACK_NAMES:
+            method = getattr(listener, name, None)
+            if callable(method):
+                self._targets[name].append(method)
+        return listener
+
+    def unregister(self, listener: Any) -> None:
+        self._listeners = [l for l in self._listeners if l is not listener]
+        for name in CALLBACK_NAMES:
+            self._targets[name] = [
+                m for m in self._targets[name]
+                if getattr(m, "__self__", None) is not listener
+            ]
+
+    @property
+    def listeners(self) -> List[Any]:
+        return list(self._listeners)
+
+    def __len__(self) -> int:
+        return len(self._listeners)
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def bind_log(self, pid: int) -> _BoundLogObserver:
+        """Adapter for the pid-less ``ProcessLog.observer`` slot."""
+        return _BoundLogObserver(self, pid)
+
+    def attach_to(self, process: Any) -> None:
+        """Occupy ``process``'s legacy observer slots with this registry.
+
+        Safe on any process-like object: slots the protocol does not
+        expose (the baselines have no ``invariant_observer``) are left
+        alone.  Idempotent -- re-attaching replaces the previous binding
+        with an equivalent one.
+        """
+        protocol = getattr(process, "checkpoint_protocol", None)
+        if protocol is None:
+            return
+        log = getattr(protocol, "log", None)
+        if log is not None and hasattr(log, "observer"):
+            log.observer = self.bind_log(process.pid)
+        if hasattr(protocol, "invariant_observer"):
+            protocol.invariant_observer = self
+
+    # ------------------------------------------------------------------
+    # dispatch surface (mirrors the listener surface, pid-aware)
+    # ------------------------------------------------------------------
+    def on_log_append(self, pid: int, entry: Any) -> None:
+        for method in self._targets["on_log_append"]:
+            method(pid, entry)
+
+    def on_log_remove(self, pid: int, entry: Any) -> None:
+        for method in self._targets["on_log_remove"]:
+            method(pid, entry)
+
+    def on_restore(self, pid: int) -> None:
+        for method in self._targets["on_restore"]:
+            method(pid)
+
+    def on_dummy_created(self, pid: int, dummy: Any) -> None:
+        for method in self._targets["on_dummy_created"]:
+            method(pid, dummy)
+
+    def on_ckp_set(self, ckp_set: Any) -> None:
+        for method in self._targets["on_ckp_set"]:
+            method(ckp_set)
+
+    def on_gc_pair_drop(self, entry: Any, pair: Any, ckp_set: Any) -> None:
+        for method in self._targets["on_gc_pair_drop"]:
+            method(entry, pair, ckp_set)
+
+    def on_gc_dummy_drop(self, dummy: Any, ckp_set: Any) -> None:
+        for method in self._targets["on_gc_dummy_drop"]:
+            method(dummy, ckp_set)
+
+    def on_gc_dep_drop(self, tid: Any, dep: Any, ckp_set: Any) -> None:
+        for method in self._targets["on_gc_dep_drop"]:
+            method(tid, dep, ckp_set)

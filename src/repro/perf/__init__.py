@@ -1,0 +1,48 @@
+"""Performance measurement subsystem.
+
+Every future PR that claims a speedup needs a reproducible measurement to
+back it, the same way the experiment harness backs protocol claims
+(compare Garcia et al.'s and Kulkarni et al.'s overhead methodology).
+This package provides it:
+
+* :mod:`repro.perf.counters` -- the :class:`BenchRecord` measurement unit
+  (wall-clock seconds, simulated events/sec, messages/sec, peak log
+  bytes, seed) and the stopwatch used to fill it;
+* :mod:`repro.perf.bench` -- the curated benchmark suite: micro-benchmarks
+  for the simulator's hot paths (kernel dispatch, network send, trace
+  append, log append) plus whole-experiment benches (E2/E3/E8/E11) and
+  the headline ``e11_p16`` scalability run;
+* :mod:`repro.perf.schema` -- the ``BENCH_perf.json`` schema and a
+  dependency-free validator;
+* :mod:`repro.perf.report` -- report assembly (git revision, host
+  calibration), serialization, and baseline regression comparison.
+
+The supported entry points are ``repro bench`` on the command line and
+:func:`repro.api.run_bench` from code; both write ``BENCH_perf.json`` so
+the repository accumulates a perf trajectory over time.
+"""
+
+from repro.perf.bench import ALL_BENCHMARKS, run_suite
+from repro.perf.counters import BenchRecord, Stopwatch
+from repro.perf.report import (
+    BenchReport,
+    compare_reports,
+    load_report,
+    make_report,
+    write_report,
+)
+from repro.perf.schema import SCHEMA_ID, validate_report
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "BenchRecord",
+    "BenchReport",
+    "SCHEMA_ID",
+    "Stopwatch",
+    "compare_reports",
+    "load_report",
+    "make_report",
+    "run_suite",
+    "validate_report",
+    "write_report",
+]

@@ -1,0 +1,286 @@
+"""The curated benchmark suite behind ``repro bench``.
+
+Two layers of benchmarks:
+
+* **micro** -- tight loops over the simulator's hot primitives (kernel
+  dispatch, network send, trace append, log append), sized so one run
+  takes tens of milliseconds.  These localize a regression to a
+  subsystem when a macro number moves.
+* **experiment / workload** -- whole simulated runs: the headline
+  ``e11_p16`` scalability workload (16 processes, the acceptance metric
+  of the perf trajectory) and the quick variants of experiments E2, E3,
+  E8 and E11.
+
+Every benchmark is deterministic in its *simulated* behavior (fixed
+seed); only the wall-clock reading varies between hosts.  Each benchmark
+runs ``repeats`` times and reports the best run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.perf.counters import BenchRecord, Stopwatch
+
+#: Registered benchmarks: name -> builder(quick, seed, repeats, store_dir,
+#: check) -> BenchRecord.  Populated by :func:`_bench` below.
+ALL_BENCHMARKS: Dict[str, Callable[..., BenchRecord]] = {}
+
+
+def _bench(name: str) -> Callable:
+    def register(fn: Callable[..., BenchRecord]) -> Callable[..., BenchRecord]:
+        ALL_BENCHMARKS[name] = fn
+        return fn
+
+    return register
+
+
+def _best_of(repeats: int, body: Callable[[], None]) -> float:
+    watch = Stopwatch()
+    for _ in range(max(1, repeats)):
+        with watch:
+            body()
+    assert watch.best is not None
+    return watch.best
+
+
+# ----------------------------------------------------------------------
+# micro-benchmarks
+# ----------------------------------------------------------------------
+@_bench("micro_kernel_dispatch")
+def bench_kernel_dispatch(quick: bool, seed: int, repeats: int,
+                          **_: object) -> BenchRecord:
+    """Dispatch N pre-scheduled no-op events through the kernel run loop."""
+    from repro.sim.kernel import Kernel
+
+    n = 20_000 if quick else 200_000
+
+    def body() -> None:
+        kernel = Kernel(seed=seed)
+        sink = _noop
+        for i in range(n):
+            kernel.schedule(float(i % 97), sink)
+        kernel.run()
+        assert kernel.dispatched == n
+
+    return BenchRecord(
+        name="micro_kernel_dispatch", kind="micro",
+        wall_seconds=_best_of(repeats, body),
+        events=n, seed=seed, params={"n": n},
+    )
+
+
+def _noop() -> None:
+    return None
+
+
+@_bench("micro_network_send")
+def bench_network_send(quick: bool, seed: int, repeats: int,
+                       **_: object) -> BenchRecord:
+    """Send N small messages between two endpoints and drain delivery."""
+    from repro.net.message import Message, MessageKind
+    from repro.net.network import Network
+    from repro.sim.kernel import Kernel
+
+    n = 2_000 if quick else 20_000
+
+    class _Sink:
+        def deliver(self, message: Message) -> None:
+            return None
+
+    def body() -> None:
+        kernel = Kernel(seed=seed)
+        network = Network(kernel)
+        network.register(0, _Sink())
+        network.register(1, _Sink())
+        payload = {"round": 0, "value": 1234}
+        for i in range(n):
+            network.send(Message(0, 1, MessageKind.APP, dict(payload)))
+            kernel.run()
+        assert network.stats.total_messages == n
+
+    return BenchRecord(
+        name="micro_network_send", kind="micro",
+        wall_seconds=_best_of(repeats, body),
+        events=n, messages=n, seed=seed, params={"n": n},
+    )
+
+
+@_bench("micro_trace_append")
+def bench_trace_append(quick: bool, seed: int, repeats: int,
+                       **_: object) -> BenchRecord:
+    """Append N records to an enabled, ring-bounded trace log."""
+    from repro.sim.tracing import TraceLog
+
+    n = 20_000 if quick else 200_000
+
+    def body() -> None:
+        trace = TraceLog(enabled=True, max_records=4096)
+        emit = trace.emit
+        for i in range(n):
+            emit(float(i), "bench", "tick", index=i)
+        assert trace.dropped == n - 4096
+
+    return BenchRecord(
+        name="micro_trace_append", kind="micro",
+        wall_seconds=_best_of(repeats, body),
+        events=n, seed=seed, params={"n": n},
+    )
+
+
+@_bench("micro_trace_disabled")
+def bench_trace_disabled(quick: bool, seed: int, repeats: int,
+                         **_: object) -> BenchRecord:
+    """The disabled-trace early-out: emit N records into a disabled log."""
+    from repro.sim.tracing import TraceLog
+
+    n = 50_000 if quick else 500_000
+
+    def body() -> None:
+        trace = TraceLog(enabled=False)
+        emit = trace.emit
+        for i in range(n):
+            emit(float(i), "bench", "tick", index=i)
+        assert not trace.records
+
+    return BenchRecord(
+        name="micro_trace_disabled", kind="micro",
+        wall_seconds=_best_of(repeats, body),
+        events=n, seed=seed, params={"n": n},
+    )
+
+
+@_bench("micro_log_append")
+def bench_log_append(quick: bool, seed: int, repeats: int,
+                     **_: object) -> BenchRecord:
+    """Append N log entries (rotating over K objects) to a ProcessLog."""
+    from repro.checkpoint.log import LogEntry, ProcessLog
+    from repro.types import Tid
+
+    n = 5_000 if quick else 50_000
+    objects = 16
+
+    def body() -> None:
+        log = ProcessLog()
+        tid = Tid(0, 0)
+        for i in range(n):
+            log.append(LogEntry(
+                obj_id=f"obj{i % objects}",
+                version=i // objects + 1,
+                obj_data={"value": i, "pad": "x" * 32},
+                tid_prd=tid,
+            ))
+        assert len(log) == n
+
+    return BenchRecord(
+        name="micro_log_append", kind="micro",
+        wall_seconds=_best_of(repeats, body),
+        events=n, seed=seed, params={"n": n, "objects": objects},
+    )
+
+
+# ----------------------------------------------------------------------
+# workload / experiment benchmarks
+# ----------------------------------------------------------------------
+@_bench("e11_p16")
+def bench_e11_p16(quick: bool, seed: int, repeats: int,
+                  store_dir: Optional[str] = None, check: bool = False,
+                  **_: object) -> BenchRecord:
+    """The acceptance benchmark: E11's scalability workload at 16 processes.
+
+    Runs the exact cluster configuration of experiment E11's largest
+    quick point scaled to 16 processes and reports simulator throughput.
+    ``repro bench`` compares this row's wall-clock against the committed
+    baseline to hold the perf trajectory.
+    """
+    from repro.checkpoint.policy import CheckpointPolicy
+    from repro.cluster.config import ClusterConfig
+    from repro.cluster.system import DisomSystem
+    from repro.workloads import SyntheticWorkload
+
+    processes = 16
+    rounds = 8 if quick else 12
+    record = BenchRecord(name="e11_p16", kind="workload", wall_seconds=0.0,
+                         seed=seed,
+                         params={"processes": processes, "rounds": rounds,
+                                 "interval": 40.0})
+    watch = Stopwatch()
+    for _ in range(max(1, repeats)):
+        workload = SyntheticWorkload(rounds=rounds, objects=processes)
+        system = DisomSystem(
+            ClusterConfig(processes=processes, seed=seed,
+                          store_dir=store_dir, check=check),
+            CheckpointPolicy(interval=40.0),
+        )
+        workload.setup(system)
+        with watch:
+            result = system.run()
+        assert result.completed and workload.verify(result).ok
+        record.events = system.kernel.dispatched
+        record.messages = result.net["total_messages"]
+        record.peak_log_bytes = result.peak_log_bytes
+    assert watch.best is not None
+    record.wall_seconds = watch.best
+    return record
+
+
+def _experiment_bench(name: str, exp_id: str) -> None:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    runner = ALL_EXPERIMENTS[exp_id]
+
+    def bench(quick: bool, seed: int, repeats: int, check: bool = False,
+              **_: object) -> BenchRecord:
+        from repro.experiments.base import set_inline_checking
+
+        def body() -> None:
+            set_inline_checking(check)
+            try:
+                result = runner(quick=quick)
+            finally:
+                set_inline_checking(False)
+            assert result.claim_holds is not False, exp_id
+
+        return BenchRecord(
+            name=name, kind="experiment",
+            wall_seconds=_best_of(repeats, body),
+            seed=seed, params={"experiment": exp_id, "quick": quick},
+        )
+
+    bench.__name__ = f"bench_{name}"
+    ALL_BENCHMARKS[name] = bench
+
+
+_experiment_bench("exp_e2_no_extra_messages", "E2-no-extra-messages")
+_experiment_bench("exp_e3_log_overhead", "E3-log-overhead")
+_experiment_bench("exp_e8_recovery_time", "E8-recovery-time")
+_experiment_bench("exp_e11_scalability", "E11-scalability")
+
+
+# ----------------------------------------------------------------------
+# suite driver
+# ----------------------------------------------------------------------
+def run_suite(
+    quick: bool = True,
+    seed: int = 7,
+    repeats: Optional[int] = None,
+    only: Optional[Sequence[str]] = None,
+    store_dir: Optional[str] = None,
+    check: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[BenchRecord]:
+    """Run the (filtered) suite and return one record per benchmark.
+
+    ``only`` filters by name prefix; ``repeats`` defaults to 3 in quick
+    mode and 5 in full mode (best-of is reported).
+    """
+    effective_repeats = repeats if repeats is not None else (3 if quick else 5)
+    records: List[BenchRecord] = []
+    for name, bench in ALL_BENCHMARKS.items():
+        if only and not any(name.startswith(prefix) for prefix in only):
+            continue
+        if progress is not None:
+            progress(name)
+        records.append(bench(quick=quick, seed=seed, repeats=effective_repeats,
+                             store_dir=store_dir, check=check))
+    return records

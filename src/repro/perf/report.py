@@ -1,0 +1,200 @@
+"""Report assembly, serialization and baseline comparison.
+
+A :class:`BenchReport` bundles one suite run with the environment it was
+measured in (git revision, Python version, host calibration factor).
+``BENCH_perf.json`` additionally embeds the *baseline* report it was
+compared against -- for this PR that is the pre-optimization state of the
+tree, so the file itself documents the speedup; for later PRs CI re-runs
+the suite and compares against the committed copy.
+
+Comparison is done on calibration-normalized wall-clock
+(``wall / calibration_seconds``): the spin-loop calibration factor
+(:func:`repro.perf.counters.calibrate`) cancels out raw host speed, so a
+baseline measured on different hardware still gates meaningfully.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.perf.counters import BenchRecord, calibrate
+from repro.perf.schema import SCHEMA_ID, validate_report
+
+
+def git_revision(default: str = "unknown") -> str:
+    """Current git commit hash, or ``default`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=False,
+        )
+    except OSError:
+        return default
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else default
+
+
+@dataclass
+class BenchReport:
+    """One suite run plus its measurement environment."""
+
+    mode: str  # "quick" | "full"
+    seed: int
+    git_rev: str
+    calibration_seconds: float
+    benchmarks: List[BenchRecord] = field(default_factory=list)
+    python: str = ""
+    baseline: Optional[Dict[str, Any]] = None
+
+    def record(self, name: str) -> Optional[BenchRecord]:
+        for bench in self.benchmarks:
+            if bench.name == name:
+                return bench
+        return None
+
+    def normalized_wall(self, name: str) -> Optional[float]:
+        bench = self.record(name)
+        if bench is None or self.calibration_seconds <= 0:
+            return None
+        return bench.wall_seconds / self.calibration_seconds
+
+    def speedups_vs_baseline(self) -> Dict[str, float]:
+        """Per-benchmark speedup factor (baseline / current, normalized)."""
+        if not self.baseline:
+            return {}
+        base = _baseline_normalized(self.baseline)
+        speedups: Dict[str, float] = {}
+        for bench in self.benchmarks:
+            current = self.normalized_wall(bench.name)
+            previous = base.get(bench.name)
+            if current and previous:
+                speedups[bench.name] = previous / current
+        return speedups
+
+    def as_dict(self) -> Dict[str, Any]:
+        document: Dict[str, Any] = {
+            "schema": SCHEMA_ID,
+            "git_rev": self.git_rev,
+            "mode": self.mode,
+            "seed": self.seed,
+            "python": self.python or platform.python_version(),
+            "calibration_seconds": self.calibration_seconds,
+            "benchmarks": [bench.as_dict() for bench in self.benchmarks],
+            "baseline": self.baseline,
+        }
+        speedups = self.speedups_vs_baseline()
+        if speedups:
+            document["speedup_vs_baseline"] = {
+                name: round(value, 3) for name, value in sorted(speedups.items())
+            }
+        return document
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "BenchReport":
+        problems = validate_report(document)
+        if problems:
+            raise ValueError("invalid bench report: " + "; ".join(problems))
+        return cls(
+            mode=document["mode"],
+            seed=document["seed"],
+            git_rev=document["git_rev"],
+            calibration_seconds=document["calibration_seconds"],
+            benchmarks=[BenchRecord.from_dict(row)
+                        for row in document["benchmarks"]],
+            python=document.get("python", ""),
+            baseline=document.get("baseline"),
+        )
+
+
+def _baseline_normalized(baseline: Dict[str, Any]) -> Dict[str, float]:
+    calibration = baseline.get("calibration_seconds", 0)
+    if not isinstance(calibration, (int, float)) or calibration <= 0:
+        return {}
+    return {
+        row["name"]: row["wall_seconds"] / calibration
+        for row in baseline.get("benchmarks", [])
+        if isinstance(row, dict) and row.get("wall_seconds")
+    }
+
+
+def make_report(
+    benchmarks: List[BenchRecord],
+    mode: str,
+    seed: int,
+    baseline: Optional[Dict[str, Any]] = None,
+    calibration_seconds: Optional[float] = None,
+) -> BenchReport:
+    """Assemble a report, measuring the calibration factor if not given."""
+    return BenchReport(
+        mode=mode,
+        seed=seed,
+        git_rev=git_revision(),
+        calibration_seconds=(calibration_seconds if calibration_seconds
+                             else calibrate()),
+        benchmarks=benchmarks,
+        python=platform.python_version(),
+        baseline=baseline,
+    )
+
+
+def write_report(report: BenchReport, path: str) -> None:
+    document = report.as_dict()
+    problems = validate_report(document)
+    if problems:
+        raise ValueError("refusing to write invalid report: "
+                         + "; ".join(problems))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def load_report(path: str) -> BenchReport:
+    with open(path, "r", encoding="utf-8") as handle:
+        return BenchReport.from_dict(json.load(handle))
+
+
+@dataclass
+class Regression:
+    """One benchmark that got slower than the gate tolerates."""
+
+    name: str
+    baseline_normalized: float
+    current_normalized: float
+
+    @property
+    def slowdown(self) -> float:
+        return self.current_normalized / self.baseline_normalized
+
+    def __str__(self) -> str:
+        return (f"{self.name}: {self.slowdown:.2f}x slower than baseline "
+                f"(normalized {self.current_normalized:.4f} vs "
+                f"{self.baseline_normalized:.4f})")
+
+
+def compare_reports(
+    current: BenchReport,
+    baseline: BenchReport,
+    tolerance: float = 0.20,
+) -> List[Regression]:
+    """Benchmarks whose normalized wall-clock regressed beyond ``tolerance``.
+
+    Only benchmarks present in both reports are compared; an empty list
+    means the gate passes.
+    """
+    regressions: List[Regression] = []
+    for bench in current.benchmarks:
+        current_norm = current.normalized_wall(bench.name)
+        base_norm = baseline.normalized_wall(bench.name)
+        if current_norm is None or base_norm is None or base_norm <= 0:
+            continue
+        if current_norm > base_norm * (1.0 + tolerance):
+            regressions.append(Regression(
+                name=bench.name,
+                baseline_normalized=base_norm,
+                current_normalized=current_norm,
+            ))
+    return regressions

@@ -1,0 +1,123 @@
+"""``BENCH_perf.json`` schema and a dependency-free validator.
+
+The file is the repository's perf trajectory: every PR regenerates it
+with ``repro bench`` and CI gates on regressions against the committed
+copy.  The validator is deliberately hand-rolled (no jsonschema
+dependency) but the document shape is also expressed as a JSON-Schema
+fragment in :data:`JSON_SCHEMA` for external tooling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+#: Version tag written into every report; bump on breaking shape changes.
+SCHEMA_ID = "repro-bench/v1"
+
+#: JSON-Schema (draft 2020-12 subset) description of the report document.
+JSON_SCHEMA: Dict[str, Any] = {
+    "$id": SCHEMA_ID,
+    "type": "object",
+    "required": ["schema", "git_rev", "mode", "seed",
+                 "calibration_seconds", "benchmarks"],
+    "properties": {
+        "schema": {"const": SCHEMA_ID},
+        "git_rev": {"type": "string"},
+        "mode": {"enum": ["quick", "full"]},
+        "seed": {"type": "integer"},
+        "python": {"type": "string"},
+        "calibration_seconds": {"type": "number", "exclusiveMinimum": 0},
+        "benchmarks": {"type": "array", "items": {"$ref": "#/$defs/bench"}},
+        "baseline": {"type": ["object", "null"]},
+        "speedup_vs_baseline": {"type": "object"},
+    },
+    "$defs": {
+        "bench": {
+            "type": "object",
+            "required": ["name", "kind", "wall_seconds"],
+            "properties": {
+                "name": {"type": "string"},
+                "kind": {"enum": ["micro", "experiment", "workload"]},
+                "wall_seconds": {"type": "number", "minimum": 0},
+                "events": {"type": "integer", "minimum": 0},
+                "events_per_sec": {"type": "number", "minimum": 0},
+                "messages": {"type": "integer", "minimum": 0},
+                "messages_per_sec": {"type": "number", "minimum": 0},
+                "peak_log_bytes": {"type": "integer", "minimum": 0},
+                "seed": {"type": "integer"},
+                "params": {"type": "object"},
+            },
+        },
+    },
+}
+
+_BENCH_KINDS = ("micro", "experiment", "workload")
+
+
+def _check_row(row: Any, where: str, problems: List[str]) -> None:
+    if not isinstance(row, dict):
+        problems.append(f"{where}: benchmark row must be an object")
+        return
+    for key in ("name", "kind", "wall_seconds"):
+        if key not in row:
+            problems.append(f"{where}: missing required key {key!r}")
+    if not isinstance(row.get("name", ""), str):
+        problems.append(f"{where}: name must be a string")
+    if row.get("kind") not in _BENCH_KINDS:
+        problems.append(f"{where}: kind must be one of {_BENCH_KINDS}")
+    wall = row.get("wall_seconds", 0)
+    if not isinstance(wall, (int, float)) or isinstance(wall, bool) or wall < 0:
+        problems.append(f"{where}: wall_seconds must be a non-negative number")
+    for key in ("events", "messages", "peak_log_bytes"):
+        value = row.get(key, 0)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            problems.append(f"{where}: {key} must be a non-negative integer")
+    for key in ("events_per_sec", "messages_per_sec"):
+        value = row.get(key, 0.0)
+        if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
+            problems.append(f"{where}: {key} must be a non-negative number")
+    if not isinstance(row.get("params", {}), dict):
+        problems.append(f"{where}: params must be an object")
+
+
+def validate_report(document: Any) -> List[str]:
+    """Return a list of problems; empty means the document is schema-valid."""
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return ["report must be a JSON object"]
+    if document.get("schema") != SCHEMA_ID:
+        problems.append(
+            f"schema must be {SCHEMA_ID!r}, got {document.get('schema')!r}")
+    if not isinstance(document.get("git_rev"), str):
+        problems.append("git_rev must be a string")
+    if document.get("mode") not in ("quick", "full"):
+        problems.append("mode must be 'quick' or 'full'")
+    if not isinstance(document.get("seed"), int):
+        problems.append("seed must be an integer")
+    calibration = document.get("calibration_seconds")
+    if (not isinstance(calibration, (int, float))
+            or isinstance(calibration, bool) or calibration <= 0):
+        problems.append("calibration_seconds must be a positive number")
+    rows = document.get("benchmarks")
+    if not isinstance(rows, list) or not rows:
+        problems.append("benchmarks must be a non-empty array")
+    else:
+        names = set()
+        for index, row in enumerate(rows):
+            _check_row(row, f"benchmarks[{index}]", problems)
+            name = row.get("name") if isinstance(row, dict) else None
+            if name in names:
+                problems.append(f"benchmarks[{index}]: duplicate name {name!r}")
+            names.add(name)
+    baseline = document.get("baseline")
+    if baseline is not None:
+        if not isinstance(baseline, dict):
+            problems.append("baseline must be an object or null")
+        else:
+            base_rows = baseline.get("benchmarks")
+            if not isinstance(base_rows, list):
+                problems.append("baseline.benchmarks must be an array")
+            else:
+                for index, row in enumerate(base_rows):
+                    _check_row(row, f"baseline.benchmarks[{index}]", problems)
+    return problems

@@ -3,6 +3,12 @@
 Events scheduled for the same simulated time are dispatched in scheduling
 order (FIFO), which -- together with seeded RNG streams -- makes whole-system
 runs bit-for-bit reproducible.
+
+Performance note: the heap stores ``(time, seq, event)`` tuples rather
+than :class:`Event` objects directly.  Tuple comparison happens entirely
+in C and -- because ``seq`` is unique -- never falls through to comparing
+events, which keeps the per-push/pop cost flat while preserving exactly
+the (time, insertion) order the determinism contract requires.
 """
 
 from __future__ import annotations
@@ -58,8 +64,10 @@ class Event:
 class EventQueue:
     """Min-heap of events ordered by (time, insertion sequence)."""
 
+    __slots__ = ("_heap", "_counter", "_live")
+
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._counter = itertools.count()
         self._live = 0
 
@@ -72,8 +80,9 @@ class EventQueue:
     ) -> Event:
         if time < 0:
             raise SimulationError(f"cannot schedule event at negative time {time}")
-        event = Event(time, next(self._counter), callback, args, label)
-        heapq.heappush(self._heap, event)
+        seq = next(self._counter)
+        event = Event(time, seq, callback, args, label)
+        heapq.heappush(self._heap, (time, seq, event))
         self._live += 1
         return event
 
@@ -82,19 +91,44 @@ class EventQueue:
 
         Cancelled events are discarded transparently.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             if event.cancelled:
                 continue
             self._live -= 1
             return event
         return None
 
+    def pop_next(self, until: Optional[float] = None) -> Optional[Event]:
+        """Pop the next live event with ``time <= until``.
+
+        Returns None -- leaving the event queued -- when the queue is
+        empty or the next live event lies beyond ``until``.  This is the
+        kernel run loop's fast path: one heap traversal per dispatched
+        event instead of a peek followed by a pop.
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            head = heap[0]
+            event = head[2]
+            if event.cancelled:
+                heappop(heap)
+                continue
+            if until is not None and head[0] > until:
+                return None
+            heappop(heap)
+            self._live -= 1
+            return event
+        return None
+
     def peek_time(self) -> Optional[float]:
         """Time of the next live event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     def notify_cancelled(self) -> None:
         """Bookkeeping hook: a pushed event was cancelled externally."""

@@ -64,6 +64,20 @@ class Tid:
     pid: ProcessId
     local: int
 
+    # Hand-written pickle support: byte-identical to the dataclass-generated
+    # _dataclass_getstate/_dataclass_setstate pair (a list of field values
+    # in declaration order) but without the per-call fields() reflection.
+    # Tids are pickled constantly by the wire-size model (sizing piggyback
+    # control dicts pickles the execution points inside), so this shows up.
+    # Any field change here MUST update these two methods in lockstep --
+    # test_pickle_state_matches_dataclass guards that.
+    def __getstate__(self) -> list:
+        return [self.pid, self.local]
+
+    def __setstate__(self, state: list) -> None:
+        object.__setattr__(self, "pid", state[0])
+        object.__setattr__(self, "local", state[1])
+
     def __str__(self) -> str:
         return f"t{self.pid}.{self.local}"
 
@@ -78,6 +92,14 @@ class ExecutionPoint:
 
     tid: Tid
     lt: int
+
+    # Fast pickle path; see Tid.__getstate__ for the contract.
+    def __getstate__(self) -> list:
+        return [self.tid, self.lt]
+
+    def __setstate__(self, state: list) -> None:
+        object.__setattr__(self, "tid", state[0])
+        object.__setattr__(self, "lt", state[1])
 
     def __str__(self) -> str:
         return f"<{self.tid}@{self.lt}>"
@@ -136,6 +158,15 @@ class WaitObj:
     type: AcquireType
     ep_acq: ExecutionPoint
 
+    # Fast pickle path; see Tid.__getstate__ for the contract.
+    def __getstate__(self) -> list:
+        return [self.obj_id, self.type, self.ep_acq]
+
+    def __setstate__(self, state: list) -> None:
+        object.__setattr__(self, "obj_id", state[0])
+        object.__setattr__(self, "type", state[1])
+        object.__setattr__(self, "ep_acq", state[2])
+
     def __str__(self) -> str:
         return f"wait({self.obj_id},{self.type},{self.ep_acq})"
 
@@ -160,6 +191,17 @@ class Dependency:
     p_log: ProcessId
     #: True when this dependency describes a local acquire (dummy-logged).
     local: bool = False
+
+    # Fast pickle path; see Tid.__getstate__ for the contract.
+    def __getstate__(self) -> list:
+        return [self.obj_id, self.type, self.ep_acq, self.ep_prd,
+                self.p_log, self.local]
+
+    def __setstate__(self, state: list) -> None:
+        for name, value in zip(
+            ("obj_id", "type", "ep_acq", "ep_prd", "p_log", "local"), state
+        ):
+            object.__setattr__(self, name, value)
 
     def with_p_log(self, p_log: ProcessId) -> "Dependency":
         """Return a copy with the ``P`` field replaced.
@@ -192,6 +234,14 @@ class VersionId:
 
     obj_id: ObjectId
     version: int
+
+    # Fast pickle path; see Tid.__getstate__ for the contract.
+    def __getstate__(self) -> list:
+        return [self.obj_id, self.version]
+
+    def __setstate__(self, state: list) -> None:
+        object.__setattr__(self, "obj_id", state[0])
+        object.__setattr__(self, "version", state[1])
 
     def __str__(self) -> str:
         return f"{self.obj_id}:v{self.version}"

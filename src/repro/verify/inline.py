@@ -83,6 +83,12 @@ class InlineVerifier:
         self._prior_sink = trace.sink
         trace.sink = self._on_record
         system.verifier = self
+        # The checker rides the system's unified observer registry (see
+        # repro.observers); systems predating it fall back to direct
+        # per-process wiring inside attach_process.
+        self._observers = getattr(system, "observers", None)
+        if self._observers is not None:
+            self._observers.register(self.checker)
         for pid in sorted(system.processes):
             self.attach_process(system.processes[pid])
         system.network.drained_hooks.append(self._on_drained)
@@ -98,11 +104,15 @@ class InlineVerifier:
         # longer applies.
         self.checker.on_restore(process.pid)
         protocol = process.checkpoint_protocol
-        log = getattr(protocol, "log", None)
-        if log is not None and hasattr(log, "observer"):
-            log.observer = ProcessLogObserver(self.checker, process.pid)
+        if self._observers is not None:
+            self._observers.attach_to(process)
+        else:  # pragma: no cover - legacy direct wiring
+            log = getattr(protocol, "log", None)
+            if log is not None and hasattr(log, "observer"):
+                log.observer = ProcessLogObserver(self.checker, process.pid)
+            if hasattr(protocol, "invariant_observer"):
+                protocol.invariant_observer = self.checker
         if hasattr(protocol, "invariant_observer"):
-            protocol.invariant_observer = self.checker
             self._dummy_pids.add(process.pid)
 
     # ------------------------------------------------------------------

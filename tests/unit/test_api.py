@@ -1,0 +1,191 @@
+"""Unit tests for the public facade (:mod:`repro.api`) and the unified
+:class:`repro.observers.Observers` registry."""
+
+import pytest
+
+import repro
+from repro import CheckpointPolicy, ClusterConfig, DisomSystem, Observers
+from repro.api import (
+    attach_checkers,
+    open_store,
+    run_experiment,
+    run_workload,
+)
+from repro.errors import ConfigError
+from repro.workloads import SyntheticWorkload
+
+
+class TestRunWorkload:
+    def test_by_registered_name(self):
+        system, result = run_workload("synthetic", processes=2, seed=3)
+        assert result.completed and not result.aborted
+        assert system.config.processes == 2
+
+    def test_unknown_workload_name(self):
+        with pytest.raises(ConfigError, match="unknown workload"):
+            run_workload("no-such-workload")
+
+    def test_unknown_baseline_name(self):
+        with pytest.raises(ConfigError, match="unknown baseline"):
+            run_workload("synthetic", baseline="no-such-scheme")
+
+    def test_baseline_and_factory_are_exclusive(self):
+        with pytest.raises(ConfigError, match="not both"):
+            run_workload("synthetic", baseline="none",
+                         protocol_factory=object())
+
+    def test_baseline_by_name(self):
+        _, result = run_workload("synthetic", processes=2, seed=3,
+                                 baseline="none")
+        assert result.completed
+
+    def test_workload_instance_with_crash(self):
+        workload = SyntheticWorkload(rounds=8)
+        _, result = run_workload(workload, processes=4, seed=5,
+                                 crashes=[(1, 30.0)])
+        assert result.completed
+        assert len(result.recoveries) == 1
+
+    def test_matches_direct_construction(self):
+        # The facade is a convenience wrapper: same knobs -> the same
+        # deterministic execution as building the system by hand.
+        _, via_api = run_workload("synthetic", processes=3, seed=11,
+                                  interval=40.0)
+        workload = SyntheticWorkload()
+        system = DisomSystem(
+            ClusterConfig(processes=3, seed=11, spare_nodes=2),
+            CheckpointPolicy(interval=40.0),
+        )
+        workload.setup(system)
+        direct = system.run()
+        assert via_api.final_objects == direct.final_objects
+        assert via_api.net == direct.net
+        assert via_api.duration == direct.duration
+
+    def test_check_attaches_inline_verifier(self):
+        _, result = run_workload("synthetic", processes=2, seed=3,
+                                 check=True)
+        assert result.check_report is not None
+        assert result.check_report.ok
+
+    def test_reexported_from_package_root(self):
+        assert repro.run_workload is run_workload
+        assert repro.run_experiment is run_experiment
+        assert repro.open_store is open_store
+        assert repro.attach_checkers is attach_checkers
+
+
+class TestRunExperiment:
+    def test_unique_prefix_match(self):
+        result = run_experiment("E2", quick=True)
+        assert result.experiment_id.startswith("E2")
+        assert result.claim_holds is not False
+
+    def test_ambiguous_prefix_rejected(self):
+        # "E1" is a prefix of E1-figure1 and of E11-scalability etc.
+        with pytest.raises(ConfigError, match="matches"):
+            run_experiment("E1")
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ConfigError, match="matches"):
+            run_experiment("E99")
+
+
+class TestOpenStore:
+    def test_opens_file_backend(self, tmp_path):
+        from repro.storage import FileBackend
+
+        backend = open_store(str(tmp_path / "store"))
+        assert isinstance(backend, FileBackend)
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ConfigError, match="store directory"):
+            open_store("")
+
+
+class TestAttachCheckers:
+    def test_attach_then_run(self):
+        workload = SyntheticWorkload(rounds=6)
+        system = DisomSystem(
+            ClusterConfig(processes=2, seed=9),
+            CheckpointPolicy(interval=30.0),
+        )
+        workload.setup(system)
+        attach_checkers(system)
+        result = system.run()
+        assert result.check_report is not None
+        assert result.check_report.ok
+
+
+class _Recorder:
+    """Partial listener: implements only two of the eight callbacks."""
+
+    def __init__(self):
+        self.appends = []
+        self.ckp_sets = []
+
+    def on_log_append(self, pid, entry):
+        self.appends.append((pid, entry))
+
+    def on_ckp_set(self, ckp_set):
+        self.ckp_sets.append(ckp_set)
+
+
+class TestObservers:
+    def test_register_is_idempotent(self):
+        recorder = _Recorder()
+        observers = Observers(recorder)
+        observers.register(recorder)
+        assert len(observers) == 1
+        observers.on_log_append(0, "entry")
+        assert recorder.appends == [(0, "entry")]
+
+    def test_unregister(self):
+        recorder = _Recorder()
+        observers = Observers(recorder)
+        observers.unregister(recorder)
+        assert len(observers) == 0
+        observers.on_log_append(0, "entry")
+        assert recorder.appends == []
+
+    def test_partial_listeners_skip_missing_callbacks(self):
+        # _Recorder has no on_restore; dispatching must not raise.
+        observers = Observers(_Recorder())
+        observers.on_restore(0)
+        observers.on_gc_dummy_drop("dummy", "ckp")
+
+    def test_bound_log_adapter_reattaches_pid(self):
+        recorder = _Recorder()
+        observers = Observers(recorder)
+        adapter = observers.bind_log(7)
+        adapter.on_log_append("entry")
+        assert recorder.appends == [(7, "entry")]
+
+    def test_attach_to_occupies_legacy_slots(self):
+        system = DisomSystem(
+            ClusterConfig(processes=2, seed=1),
+            CheckpointPolicy(interval=30.0),
+        )
+        system.add_object("x", initial=0, home=0)
+        observers = Observers()
+        process = system.processes[0]
+        observers.attach_to(process)
+        assert process.checkpoint_protocol.invariant_observer is observers
+        assert (process.checkpoint_protocol.log.observer.observers
+                is observers)
+
+    def test_wired_through_cluster_config(self):
+        recorder = _Recorder()
+        _, result = run_workload("synthetic", processes=2, seed=3,
+                                 observers=Observers(recorder))
+        assert result.completed
+        assert recorder.appends, "no log appends observed"
+        assert recorder.ckp_sets, "no CkpSet announcements observed"
+        assert {pid for pid, _ in recorder.appends} <= {0, 1}
+
+    def test_composes_with_inline_checking(self):
+        recorder = _Recorder()
+        _, result = run_workload("synthetic", processes=2, seed=3,
+                                 check=True, observers=Observers(recorder))
+        assert result.check_report is not None and result.check_report.ok
+        assert recorder.appends

@@ -1,0 +1,179 @@
+"""Unit tests for the perf layer: counters, bench report, regression
+gate, and the hot-path invariants the optimizations rely on."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.checkpoint.dummy import DummyEntry
+from repro.checkpoint.log import ThreadSetPair
+from repro.perf.counters import BenchRecord, Stopwatch
+from repro.perf.report import (
+    BenchReport,
+    compare_reports,
+    make_report,
+    load_report,
+    write_report,
+)
+from repro.perf.schema import SCHEMA_ID, validate_report
+from repro.types import (
+    AcquireType,
+    Dependency,
+    ExecutionPoint,
+    Tid,
+    VersionId,
+    WaitObj,
+    ep,
+)
+
+# ----------------------------------------------------------------------
+# hot-path pickle fast paths
+# ----------------------------------------------------------------------
+PICKLED_HOT_TYPES = [
+    Tid(3, 7),
+    ExecutionPoint(Tid(1, 2), 9),
+    WaitObj("x", AcquireType.WRITE, ep(0, 0, 1)),
+    Dependency("x", AcquireType.READ, ep(0, 0, 1), ep(1, 0, 2), 1, True),
+    VersionId("x", 4),
+    ThreadSetPair(ep(0, 0, 1), ep(1, 0, 2)),
+    DummyEntry("x", ep(0, 0, 3), ep(0, 0, 1), 2, AcquireType.WRITE),
+]
+
+
+@pytest.mark.parametrize("obj", PICKLED_HOT_TYPES,
+                         ids=[type(o).__name__ for o in PICKLED_HOT_TYPES])
+def test_pickle_state_matches_dataclass(obj):
+    """The hand-written ``__getstate__`` fast paths must produce exactly
+    the state CPython's dataclass machinery would (a list of field
+    values in field order) -- that is what keeps the wire bytes, and
+    therefore every experiment's byte counts, identical."""
+    generated = [getattr(obj, f.name) for f in dataclasses.fields(obj)]
+    assert obj.__getstate__() == generated
+
+
+@pytest.mark.parametrize("obj", PICKLED_HOT_TYPES,
+                         ids=[type(o).__name__ for o in PICKLED_HOT_TYPES])
+def test_pickle_roundtrip(obj):
+    clone = pickle.loads(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    assert clone == obj
+    assert type(clone) is type(obj)
+
+
+def test_empty_container_sizing_matches_pickle():
+    from repro.net.sizing import payload_size
+
+    for value in ({}, [], (), set(), frozenset()):
+        expected = len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+        assert payload_size(value) == expected, type(value)
+
+
+# ----------------------------------------------------------------------
+# counters
+# ----------------------------------------------------------------------
+class TestBenchRecord:
+    def test_rates(self):
+        record = BenchRecord(name="x", kind="micro", wall_seconds=2.0,
+                             events=10, messages=4)
+        assert record.events_per_sec == 5.0
+        assert record.messages_per_sec == 2.0
+
+    def test_zero_wall_rates(self):
+        record = BenchRecord(name="x", kind="micro", wall_seconds=0.0,
+                             events=10)
+        assert record.events_per_sec == 0.0
+
+    def test_dict_roundtrip(self):
+        record = BenchRecord(name="x", kind="workload", wall_seconds=0.5,
+                             events=7, messages=3, peak_log_bytes=99,
+                             seed=42, params={"n": 1})
+        assert BenchRecord.from_dict(record.as_dict()) == record
+
+
+def test_stopwatch_keeps_best():
+    watch = Stopwatch()
+    for _ in range(3):
+        with watch:
+            pass
+    assert watch.best is not None and watch.best >= 0.0
+
+
+# ----------------------------------------------------------------------
+# report + regression gate
+# ----------------------------------------------------------------------
+def _report(wall, calibration=1.0, baseline=None):
+    return BenchReport(
+        mode="quick", seed=7, git_rev="test",
+        calibration_seconds=calibration,
+        benchmarks=[BenchRecord(name="b", kind="micro", wall_seconds=wall)],
+        baseline=baseline,
+    )
+
+
+class TestBenchReport:
+    def test_make_report_validates(self):
+        report = make_report(
+            [BenchRecord(name="b", kind="micro", wall_seconds=0.1)],
+            mode="quick", seed=7, calibration_seconds=0.05)
+        document = report.as_dict()
+        assert document["schema"] == SCHEMA_ID
+        assert validate_report(document) == []
+
+    def test_write_load_roundtrip(self, tmp_path):
+        report = _report(0.25, calibration=0.5)
+        path = str(tmp_path / "bench.json")
+        write_report(report, path)
+        loaded = load_report(path)
+        assert loaded.benchmarks == report.benchmarks
+        assert loaded.calibration_seconds == report.calibration_seconds
+
+    def test_write_rejects_invalid(self, tmp_path):
+        bad = _report(0.25, calibration=0.5)
+        bad.mode = "bogus"
+        with pytest.raises(ValueError, match="invalid report"):
+            write_report(bad, str(tmp_path / "bench.json"))
+
+    def test_speedups_vs_baseline_normalized(self):
+        # Baseline host is 2x slower (calibration 2.0), wall 4.0 ->
+        # normalized 2.0; current normalized 1.0 -> speedup 2.0.
+        baseline = _report(4.0, calibration=2.0).as_dict()
+        report = _report(1.0, calibration=1.0, baseline=baseline)
+        assert report.speedups_vs_baseline() == {"b": 2.0}
+
+    def test_normalized_wall_missing_bench(self):
+        assert _report(1.0).normalized_wall("nope") is None
+
+
+class TestRegressionGate:
+    def test_no_regression_within_tolerance(self):
+        assert compare_reports(_report(1.1), _report(1.0),
+                               tolerance=0.20) == []
+
+    def test_regression_beyond_tolerance(self):
+        regressions = compare_reports(_report(2.0), _report(1.0),
+                                      tolerance=0.20)
+        assert [r.name for r in regressions] == ["b"]
+        assert regressions[0].slowdown == pytest.approx(2.0)
+
+    def test_calibration_normalizes_across_hosts(self):
+        # Same per-host cost (wall/calibration identical) must pass the
+        # gate even though raw wall-clock doubled.
+        current = _report(2.0, calibration=2.0)
+        baseline = _report(1.0, calibration=1.0)
+        assert compare_reports(current, baseline, tolerance=0.20) == []
+
+    def test_unmatched_benchmarks_skipped(self):
+        current = _report(5.0)
+        current.benchmarks[0] = BenchRecord(name="other", kind="micro",
+                                            wall_seconds=5.0)
+        assert compare_reports(current, _report(1.0)) == []
+
+
+def test_schema_validator_flags_problems():
+    assert validate_report([]) == ["report must be a JSON object"]
+    document = _report(1.0).as_dict()
+    document["benchmarks"] = []
+    assert any("non-empty" in p for p in validate_report(document))
+    document = _report(1.0).as_dict()
+    document["benchmarks"].append(dict(document["benchmarks"][0]))
+    assert any("duplicate" in p for p in validate_report(document))
