@@ -94,15 +94,22 @@ def run_experiment(
     *,
     quick: bool = True,
     check: bool = False,
+    jobs: int = 1,
 ) -> Any:
     """Run one experiment by id (exact or unique prefix, e.g. ``"E2"``).
 
     Returns its :class:`~repro.experiments.base.ExperimentResult`.
     ``check=True`` attaches the inline verification layer to every run
-    the experiment makes.
+    the experiment makes.  ``jobs`` follows the uniform contract (``1``
+    serial, ``0`` = one worker per CPU) and parallelizes the sweeps the
+    experiment runs internally; results are identical to a serial run.
     """
     from repro.experiments import ALL_EXPERIMENTS
-    from repro.experiments.base import set_inline_checking
+    from repro.experiments.base import (
+        call_experiment,
+        set_experiment_defaults,
+        set_inline_checking,
+    )
 
     matches = [eid for eid in ALL_EXPERIMENTS if eid == experiment]
     if not matches:
@@ -114,12 +121,12 @@ def run_experiment(
         )
     runner = ALL_EXPERIMENTS[matches[0]]
     set_inline_checking(check)
+    set_experiment_defaults(jobs=jobs)
     try:
-        if "quick" in runner.__code__.co_varnames:
-            return runner(quick=quick)
-        return runner()
+        return call_experiment(runner, quick=quick)
     finally:
         set_inline_checking(False)
+        set_experiment_defaults()
 
 
 def run_bench(
@@ -132,17 +139,21 @@ def run_bench(
     store_dir: Optional[str] = None,
     baseline: Optional[Any] = None,
     progress: Optional[Any] = None,
+    jobs: int = 1,
 ) -> Any:
     """Run the perf suite and return a :class:`~repro.perf.BenchReport`.
 
     ``only`` filters benchmarks by name prefix; ``baseline`` embeds a
     prior report (a :class:`~repro.perf.BenchReport` or its dict form)
-    so the result carries speedup-vs-baseline columns.
+    so the result carries speedup-vs-baseline columns.  ``jobs`` fans
+    the (benchmark, repeat) cells out over worker processes, with
+    per-worker calibration keeping the normalized numbers comparable.
     """
     from repro.perf import make_report, run_suite
 
     records = run_suite(quick=quick, seed=seed, repeats=repeats, only=only,
-                        store_dir=store_dir, check=check, progress=progress)
+                        store_dir=store_dir, check=check, progress=progress,
+                        jobs=jobs)
     return make_report(records, mode="quick" if quick else "full", seed=seed,
                        baseline=baseline)
 

@@ -15,15 +15,19 @@
     python -m repro experiments E2 E3 --full      # print experiment tables
     python -m repro experiments E1 --check        # experiments under checking
     python -m repro experiments E2 --json out.json --seed 11
+    python -m repro experiments --jobs 4          # fan out over 4 workers
     python -m repro bench --quick                 # perf suite -> BENCH_perf.json
     python -m repro bench --against BENCH_perf.json --tolerance 0.2
+    python -m repro bench --jobs 0                # repeats on every CPU
     python -m repro storage inspect --store-dir /tmp/ckpts
     python -m repro storage verify --store-dir /tmp/ckpts
     python -m repro storage gc --store-dir /tmp/ckpts
 
 Flag spelling is uniform across subcommands: ``--seed`` (RNG seed),
 ``--check`` (inline verification), ``--store-dir`` (durable on-disk
-checkpoint store), ``--json`` (machine-readable report path).
+checkpoint store), ``--json`` (machine-readable report path), ``--jobs``
+(worker processes for independent runs; ``1`` = serial, ``0`` = one per
+CPU -- results are byte-identical at any value).
 """
 
 from __future__ import annotations
@@ -129,6 +133,11 @@ def build_parser() -> argparse.ArgumentParser:
                                   "a durable on-disk store")
     experiments.add_argument("--json", default=None, metavar="PATH",
                              help="also write per-experiment findings as JSON")
+    experiments.add_argument("--jobs", type=int, default=1, metavar="N",
+                             help="worker processes for independent "
+                                  "experiment runs (0 = one per CPU; "
+                                  "default 1 = serial; results are "
+                                  "identical either way)")
 
     bench = sub.add_parser(
         "bench",
@@ -160,6 +169,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--store-dir", default=None, metavar="DIR",
                        help="durable checkpoint store for workload "
                             "benchmarks (measures the on-disk write path)")
+    bench.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for benchmark repeats "
+                            "(0 = one per CPU; wall-clock is normalized "
+                            "by per-worker calibration)")
 
     storage = sub.add_parser(
         "storage", help="inspect an on-disk checkpoint store")
@@ -428,40 +441,35 @@ def cmd_storage(action: str, store_dir: str) -> int:
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
-    from repro.experiments.base import (
-        set_experiment_defaults,
-        set_inline_checking,
-    )
+    from repro.experiments.runner import run_experiments
+    from repro.parallel import WorkerFailure
 
-    set_inline_checking(args.check)
-    set_experiment_defaults(seed=args.seed, store_dir=args.store_dir)
+    outcomes, merged = run_experiments(
+        ids=args.ids, quick=not args.full, check=args.check,
+        jobs=args.jobs, seed=args.seed, store_dir=args.store_dir)
     failures = 0
     findings: dict = {}
-    try:
-        for exp_id, runner in ALL_EXPERIMENTS.items():
-            if args.ids and not any(exp_id.startswith(w) for w in args.ids):
-                continue
-            try:
-                result = (runner(quick=not args.full)
-                          if "quick" in runner.__code__.co_varnames
-                          else runner())
-            except Exception as exc:  # pragma: no cover - surfaced to the CLI
-                print(f"### {exp_id}: FAILED with {type(exc).__name__}: {exc}")
-                findings[exp_id] = {"failed": f"{type(exc).__name__}: {exc}"}
-                failures += 1
-                continue
-            print(result.render())
-            print()
+    for exp_id, outcome in outcomes:
+        if isinstance(outcome, WorkerFailure):
+            print(f"### {exp_id}: FAILED with "
+                  f"{outcome.error_type}: {outcome.message}")
             findings[exp_id] = {
-                "title": result.title,
-                "claim_holds": result.claim_holds,
-                "findings": result.findings,
-            }
-            if result.claim_holds is False:
-                failures += 1
-    finally:
-        set_inline_checking(False)
-        set_experiment_defaults()
+                "failed": f"{outcome.error_type}: {outcome.message}"}
+            failures += 1
+            continue
+        print(outcome.render())
+        print()
+        findings[exp_id] = {
+            "title": outcome.title,
+            "claim_holds": outcome.claim_holds,
+            "findings": outcome.findings,
+        }
+        if outcome.claim_holds is False:
+            failures += 1
+    if merged is not None:
+        print(merged.summary())
+        if not merged.ok:
+            failures += 1
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(findings, handle, indent=2, default=str)
@@ -485,6 +493,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         store_dir=args.store_dir,
         baseline=baseline_report.as_dict() if baseline_report else None,
         progress=lambda name: print(f"  bench {name} ..."),
+        jobs=args.jobs,
     )
     write_report(report, args.json)
 

@@ -81,6 +81,13 @@ class InvariantViolation(ReproError):
         self.detail = detail
         self.trace_slice: list = trace_slice if trace_slice is not None else []
 
+    def __reduce__(self):
+        # The default exception reduce replays __init__ with ``args``
+        # (the single formatted message), which does not match this
+        # two-argument signature; spell out the real constructor call so
+        # violations survive the worker->parent pickle hop.
+        return (type(self), (self.rule, self.detail, self.trace_slice))
+
     def format_slice(self, limit: int = 12) -> str:
         """Render the attached trace slice (most recent ``limit`` rows)."""
         rows = self.trace_slice[-limit:]

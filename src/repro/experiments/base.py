@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, List, Optional
 
 from repro.analysis.report import Table
 from repro.checkpoint.policy import CheckpointPolicy
@@ -23,6 +24,18 @@ CHECK_INLINE = False
 SEED_OVERRIDE: Optional[int] = None
 STORE_DIR_DEFAULT: Optional[str] = None
 
+#: Default worker count for the sweeps an experiment runs internally
+#: (``Sweep.run(jobs=...)``); set by ``repro experiments --jobs`` when a
+#: single experiment is selected.  Worker processes always see ``1``:
+#: the fan-out already happened one level up.
+JOBS_DEFAULT: int = 1
+
+#: Check reports collected from every inline-checked run since the last
+#: :func:`drain_check_reports`.  Each worker process accumulates its own
+#: list; the parallel runner drains it per task and the parent merges
+#: all of them into one :class:`repro.verify.inline.CheckReport`.
+_CHECK_REPORTS: List[Any] = []
+
 
 def set_inline_checking(enabled: bool) -> None:
     """Enable/disable inline verification for subsequent run_workload calls."""
@@ -33,16 +46,86 @@ def set_inline_checking(enabled: bool) -> None:
 def set_experiment_defaults(
     seed: Optional[int] = None,
     store_dir: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> None:
-    """Set module-wide seed/store-dir overrides for subsequent runs.
+    """Set module-wide seed/store-dir/jobs overrides for subsequent runs.
 
     ``seed`` replaces every experiment's per-run seed (useful to probe
     seed sensitivity from the CLI); ``store_dir`` routes all checkpoints
-    through a durable on-disk store.  ``None`` clears an override.
+    through a durable on-disk store; ``jobs`` sets the worker count for
+    experiment-internal sweeps.  ``None`` clears an override (``jobs``
+    back to serial).
     """
-    global SEED_OVERRIDE, STORE_DIR_DEFAULT
+    global SEED_OVERRIDE, STORE_DIR_DEFAULT, JOBS_DEFAULT
     SEED_OVERRIDE = seed
     STORE_DIR_DEFAULT = store_dir
+    JOBS_DEFAULT = 1 if jobs is None else jobs
+
+
+def experiment_jobs() -> int:
+    """The ``Sweep.run(jobs=...)`` default experiments should honor."""
+    return JOBS_DEFAULT
+
+
+def drain_check_reports() -> List[Any]:
+    """Return and clear the check reports accumulated in this process."""
+    global _CHECK_REPORTS
+    drained, _CHECK_REPORTS = _CHECK_REPORTS, []
+    return drained
+
+
+def bind_experiment_defaults(fn: Callable[..., Any],
+                             **fixed: Any) -> Callable[..., Any]:
+    """Bind ``fn`` (plus fixed kwargs) for use as a parallel sweep task.
+
+    Spawn workers do not inherit this process's module-wide experiment
+    overrides (inline checking, seed, store-dir), so a sweep point that
+    calls :func:`run_workload` inside a worker would silently run
+    unchecked.  This helper snapshots the overrides *now* and returns a
+    picklable callable that re-installs them in the worker before every
+    point -- which is also how inline-check observers get attached per
+    worker.  Serial sweeps are unaffected (re-installing the already
+    current defaults is a no-op).
+    """
+    import functools
+
+    return functools.partial(_run_with_defaults, fn, CHECK_INLINE,
+                             SEED_OVERRIDE, STORE_DIR_DEFAULT, dict(fixed))
+
+
+def _run_with_defaults(fn: Callable[..., Any], check: bool,
+                       seed: Optional[int], store_dir: Optional[str],
+                       fixed: dict, **params: Any) -> Any:
+    previous = (CHECK_INLINE, SEED_OVERRIDE, STORE_DIR_DEFAULT)
+    set_inline_checking(check)
+    set_experiment_defaults(seed=seed, store_dir=store_dir,
+                            jobs=JOBS_DEFAULT)
+    try:
+        return fn(**fixed, **params)
+    finally:
+        set_inline_checking(previous[0])
+        set_experiment_defaults(seed=previous[1], store_dir=previous[2],
+                                jobs=JOBS_DEFAULT)
+
+
+def call_experiment(runner: Callable[..., "ExperimentResult"],
+                    quick: bool = True) -> "ExperimentResult":
+    """Invoke an experiment runner, passing ``quick`` only if it takes it.
+
+    Uses :func:`inspect.signature` (which follows ``functools.partial``
+    and ``__wrapped__`` chains) rather than peeking at
+    ``__code__.co_varnames``, so wrapped or partially-applied runners
+    are dispatched correctly.
+    """
+    try:
+        parameters = inspect.signature(runner).parameters
+    except (TypeError, ValueError):
+        return runner()
+    accepts_quick = "quick" in parameters or any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
+    return runner(quick=quick) if accepts_quick else runner()
 
 
 @dataclass
@@ -107,6 +190,7 @@ def run_workload(
     result = system.run()
     if effective_check and result.check_report is not None:
         report = result.check_report
+        _CHECK_REPORTS.append(report)
         if not report.ok:
             raise InvariantViolation(
                 "inline-check",

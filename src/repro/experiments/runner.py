@@ -6,34 +6,152 @@ Usage::
     python -m repro.experiments.runner --full     # wider sweeps
     python -m repro.experiments.runner E3 E8      # a subset
     python -m repro.experiments.runner --check    # inline verification on
+    python -m repro.experiments.runner --jobs 4   # fan out over 4 workers
+
+With ``--jobs N`` independent experiments run concurrently in worker
+processes; output is still printed in registry order and is identical to
+a serial run.  When exactly one experiment is selected, the fan-out
+happens one level down instead (its internal sweeps run with ``jobs=N``).
 """
 
 from __future__ import annotations
 
 import sys
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.experiments import ALL_EXPERIMENTS
-from repro.experiments.base import set_inline_checking
+from repro.experiments.base import (
+    call_experiment,
+    drain_check_reports,
+    set_experiment_defaults,
+    set_inline_checking,
+)
+
+
+def _experiment_task(
+    exp_id: str,
+    quick: bool,
+    check: bool,
+    seed: Optional[int],
+    store_dir: Optional[str],
+    jobs: int = 1,
+) -> Tuple[Any, List[Any]]:
+    """Worker-side body: run one experiment under the given defaults.
+
+    Spawn workers start with fresh module state, so the flags the CLI
+    normally installs module-wide (inline checking, seed/store-dir
+    overrides) must be re-applied here, inside the worker, before the
+    experiment runs -- this is what makes ``--check`` attach the
+    verification observers per worker.  Returns the result together with
+    the check reports the runs accumulated, for parent-side merging.
+    """
+    set_inline_checking(check)
+    set_experiment_defaults(seed=seed, store_dir=store_dir, jobs=jobs)
+    drain_check_reports()
+    try:
+        result = call_experiment(ALL_EXPERIMENTS[exp_id], quick=quick)
+    finally:
+        reports = drain_check_reports()
+        set_inline_checking(False)
+        set_experiment_defaults()
+    return result, reports
+
+
+def run_experiments(
+    ids: Sequence[str] = (),
+    quick: bool = True,
+    check: bool = False,
+    jobs: int = 1,
+    seed: Optional[int] = None,
+    store_dir: Optional[str] = None,
+    timeout: Optional[float] = None,
+    progress: Optional[Callable[[int, int, str], None]] = None,
+) -> Tuple[List[Tuple[str, Any]], Optional[Any]]:
+    """Run the selected experiments, optionally fanned out over workers.
+
+    Returns ``(outcomes, merged_check_report)`` where ``outcomes`` is a
+    list of ``(experiment_id, ExperimentResult | WorkerFailure)`` in
+    registry order regardless of completion order, and the merged report
+    aggregates every inline-checked run across all workers (``None``
+    unless ``check``).
+
+    ``jobs`` follows the uniform contract (``1`` serial, ``0`` = one
+    worker per CPU).  With several experiments selected the fan-out is
+    across experiments and each worker runs its experiment's internal
+    sweeps serially; with exactly one experiment selected the experiment
+    runs in-process and its internal sweeps get ``jobs`` workers.
+    """
+    from repro.parallel import Call, RunPool, WorkerFailure, resolve_jobs
+
+    selected = [eid for eid in ALL_EXPERIMENTS
+                if not ids or any(eid.startswith(w) for w in ids)]
+    n_jobs = resolve_jobs(jobs)
+    inner_jobs = n_jobs if len(selected) == 1 else 1
+    pool_jobs = 1 if len(selected) <= 1 else n_jobs
+    calls = [
+        Call(_experiment_task, (exp_id, quick, check, seed, store_dir,
+                                inner_jobs), key=exp_id)
+        for exp_id in selected
+    ]
+    with RunPool(jobs=pool_jobs, timeout=timeout, progress=progress) as pool:
+        raw = pool.map(calls)
+    outcomes: List[Tuple[str, Any]] = []
+    reports: List[Any] = []
+    for exp_id, item in zip(selected, raw):
+        if isinstance(item, WorkerFailure):
+            outcomes.append((exp_id, item))
+        else:
+            result, run_reports = item
+            outcomes.append((exp_id, result))
+            reports.extend(run_reports)
+    merged = None
+    if check:
+        from repro.verify.inline import CheckReport
+
+        merged = CheckReport.merge(reports)
+    return outcomes, merged
+
+
+def _parse_jobs(argv: List[str]) -> int:
+    """Extract ``--jobs N`` / ``--jobs=N`` from a raw argv list."""
+    jobs = 1
+    remaining: List[str] = []
+    iterator = iter(argv)
+    for arg in iterator:
+        if arg == "--jobs":
+            jobs = int(next(iterator, "1"))
+        elif arg.startswith("--jobs="):
+            jobs = int(arg.split("=", 1)[1])
+        else:
+            remaining.append(arg)
+    argv[:] = remaining
+    return jobs
 
 
 def main(argv: list[str]) -> int:
+    argv = list(argv)
+    jobs = _parse_jobs(argv)
     quick = "--full" not in argv
-    if "--check" in argv:
-        set_inline_checking(True)
+    check = "--check" in argv
     wanted = [a for a in argv if not a.startswith("-")]
+    from repro.parallel import WorkerFailure
+
+    outcomes, merged = run_experiments(
+        ids=wanted, quick=quick, check=check, jobs=jobs)
     failures = 0
-    for exp_id, runner in ALL_EXPERIMENTS.items():
-        if wanted and not any(exp_id.startswith(w) for w in wanted):
-            continue
-        try:
-            result = runner(quick=quick) if "quick" in runner.__code__.co_varnames else runner()
-        except Exception as exc:  # pragma: no cover - surfaced to the CLI
-            print(f"### {exp_id}: FAILED with {type(exc).__name__}: {exc}")
+    for exp_id, outcome in outcomes:
+        if isinstance(outcome, WorkerFailure):
+            print(f"### {exp_id}: FAILED with "
+                  f"{outcome.error_type}: {outcome.message}")
             failures += 1
             continue
-        print(result.render())
+        print(outcome.render())
         print()
-        if result.claim_holds is False:
+        if outcome.claim_holds is False:
+            failures += 1
+    if merged is not None:
+        print(merged.summary())
+        if not merged.ok:
             failures += 1
     return 1 if failures else 0
 

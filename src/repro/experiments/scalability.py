@@ -12,8 +12,18 @@ from __future__ import annotations
 
 from repro.analysis.report import Table
 from repro.analysis.sweep import Sweep
-from repro.experiments.base import ExperimentResult, run_workload
+from repro.experiments.base import (
+    ExperimentResult,
+    bind_experiment_defaults,
+    experiment_jobs,
+    run_workload,
+)
 from repro.workloads import SyntheticWorkload
+
+
+def _metrics(point_metrics: dict) -> dict:
+    """Identity extractor (module-level so the sweep can fan out)."""
+    return point_metrics
 
 
 def _run(processes: int, crash: bool):
@@ -41,10 +51,11 @@ def run_scalability(quick: bool = True) -> ExperimentResult:
     sizes = [2, 4, 8] if quick else [2, 4, 8, 16, 24]
     sweep = Sweep(axes={"processes": sizes},
                   title="E11: cluster-size scaling")
-    failure_free = sweep.run(lambda processes: _run(processes, crash=False),
-                             extract=lambda m: m)
-    crashed = sweep.run(lambda processes: _run(processes, crash=True),
-                        extract=lambda m: m)
+    jobs = experiment_jobs()
+    failure_free = sweep.run(bind_experiment_defaults(_run, crash=False),
+                             extract=_metrics, jobs=jobs)
+    crashed = sweep.run(bind_experiment_defaults(_run, crash=True),
+                        extract=_metrics, jobs=jobs)
 
     table = Table(
         "E11: failure-free cost and recovery vs cluster size",

@@ -1,0 +1,41 @@
+"""Deterministic multi-core fan-out for independent simulation runs.
+
+A single simulated run is inherently serial (one discrete-event kernel),
+but everything *above* a run is embarrassingly parallel: sweep points,
+experiments, benchmark repeats, seeded verification runs.  This package
+provides the one engine all of those layers share:
+
+* :class:`~repro.parallel.pool.RunPool` -- warm spawn-context workers,
+  submission-index-ordered merging, typed :class:`WorkerFailure` rows,
+  per-task timeout with straggler cancellation, progress callbacks and
+  optional per-worker host calibration;
+* :func:`~repro.parallel.seeds.derive_seed` -- hash-based, process- and
+  platform-stable child-seed derivation;
+* :func:`~repro.parallel.seeds.resolve_jobs` -- the uniform ``--jobs``
+  contract (``1`` serial, ``0`` = one worker per CPU).
+
+Consumers: ``Sweep.run(jobs=N)``, ``repro experiments --jobs N``,
+``repro bench --jobs N`` and the corresponding :mod:`repro.api` knobs.
+The determinism guarantee is that any of those with ``jobs=N`` produces
+byte-identical tables and metrics to ``jobs=1``; only wall-clock
+changes.
+"""
+
+from repro.parallel.pool import (
+    Call,
+    RunPool,
+    WorkerError,
+    WorkerFailure,
+    raise_failures,
+)
+from repro.parallel.seeds import derive_seed, resolve_jobs
+
+__all__ = [
+    "Call",
+    "RunPool",
+    "WorkerError",
+    "WorkerFailure",
+    "derive_seed",
+    "raise_failures",
+    "resolve_jobs",
+]

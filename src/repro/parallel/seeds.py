@@ -1,0 +1,65 @@
+"""Deterministic seed derivation and job-count resolution.
+
+The parallel engine must be *invisible* in the results: a sweep run with
+``jobs=8`` has to produce byte-identical tables to the serial path.  Two
+ingredients make that hold:
+
+* every task carries its complete configuration (including its seed), so
+  a worker computes exactly what the serial loop would have computed --
+  nothing about the result depends on *which* worker ran it or *when*;
+* when a caller needs distinct per-point seeds (e.g. fanning one
+  configuration out over repeats), it derives them with
+  :func:`derive_seed`, a cryptographic mix that is stable across
+  processes, platforms and ``PYTHONHASHSEED`` -- unlike ``hash()``,
+  whose value changes per interpreter invocation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Optional, Union
+
+from repro.errors import ConfigError
+
+#: Upper bound (exclusive) for derived seeds: keep them in the positive
+#: 63-bit range so they survive every integer path in the simulator.
+_SEED_SPACE = 1 << 63
+
+
+def derive_seed(base_seed: int, *components: Union[int, str]) -> int:
+    """Derive a child seed from ``base_seed`` and a path of components.
+
+    ``derive_seed(7, "sweep", 3)`` is a pure function of its arguments:
+    the same call returns the same seed in any process on any host, and
+    different component paths give statistically independent seeds.
+    Components may be ints or strings (floats would re-introduce
+    formatting ambiguity; convert them explicitly).
+    """
+    digest = hashlib.sha256()
+    digest.update(str(int(base_seed)).encode("ascii"))
+    for component in components:
+        if not isinstance(component, (int, str)):
+            raise ConfigError(
+                f"seed components must be int or str, got "
+                f"{type(component).__name__}: {component!r}"
+            )
+        digest.update(b"\x00")
+        digest.update(str(component).encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "big") % _SEED_SPACE
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``1`` serial, ``0`` = all cores.
+
+    Mirrors the CLI contract everywhere a ``jobs`` knob appears: the
+    returned value is the actual worker count (``>= 1``).
+    """
+    if jobs is None:
+        return 1
+    jobs = int(jobs)
+    if jobs < 0:
+        raise ConfigError(f"jobs must be >= 0 (0 = one per CPU), got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs

@@ -64,6 +64,25 @@ class CheckReport:
         return (f"check: {status}; {self.events_checked} memory events, "
                 f"verifier overhead {self.overhead_seconds * 1000.0:.1f} ms")
 
+    @classmethod
+    def merge(cls, reports: List["CheckReport"]) -> "CheckReport":
+        """Aggregate many per-run reports into one.
+
+        Used by the parallel runners: each worker process attaches its
+        own checkers and produces per-run reports; the parent merges
+        them so a fanned-out ``--check`` invocation still ends in a
+        single :class:`CheckReport` (findings concatenated, counters
+        summed).
+        """
+        merged = cls()
+        for report in reports:
+            merged.races.extend(report.races)
+            merged.violations.extend(report.violations)
+            merged.events_checked += report.events_checked
+            merged.overhead_seconds += report.overhead_seconds
+            merged.trace_dropped += report.trace_dropped
+        return merged
+
 
 class InlineVerifier:
     """Bundles the race detector and invariant checker around one system."""

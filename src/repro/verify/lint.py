@@ -66,9 +66,12 @@ KNOWN_SET_ATTRS = {"copy_set", "local_readers"}
 #: same reason as the inline verifier: it *measures* host time around
 #: completed simulations (that is its whole job) and never feeds it back
 #: into simulated behavior.
+#: ``repro.parallel.pool`` reads the host clock for orchestration only
+#: (per-task timeouts, worker join deadlines); simulated behavior inside
+#: the workers remains a pure function of the task's seed.
 RULE_EXEMPT_SUFFIXES: Dict[str, Tuple[str, ...]] = {
     "wall-clock": ("verify/inline.py", "perf/counters.py", "perf/bench.py",
-                   "perf/report.py"),
+                   "perf/report.py", "parallel/pool.py"),
     "unseeded-random": ("sim/rng.py",),
 }
 

@@ -5,6 +5,7 @@ aborted." (paper section 4.5)"""
 import pytest
 
 from tests.conftest import counter_system, make_system
+from repro.errors import ProtocolError
 from repro.workloads import SyntheticWorkload
 
 
@@ -113,3 +114,38 @@ class TestRepeatedFailure:
         if not result.aborted:
             assert result.completed
             assert result.final_objects == base.final_objects
+
+
+class TestKnownDoubleGrant:
+    """Pinned-seed reproduction of the ROADMAP open item: at some
+    seed/spacing combinations ``examples/multi_failure_detection.py``
+    dies with ``ProtocolError: duplicate LogList element ... (double
+    grant of one acquire)`` during multi-failure recovery, instead of
+    recovering or conservatively aborting.
+
+    Marked xfail (not skip) so the suite notices the day the underlying
+    double grant is fixed -- the test then XPASSes and should be
+    promoted to a plain Theorem-2 assertion.
+    """
+
+    @pytest.mark.xfail(
+        raises=ProtocolError, strict=True,
+        reason="ROADMAP open item: double grant of one acquire during "
+               "widely-spaced multi-failure recovery (seed 1, P0@25 P2@65)",
+    )
+    def test_pinned_seed_widely_spaced_crashes_recover_or_abort(self):
+        from repro import run_workload
+
+        workload = SyntheticWorkload(rounds=12, objects=5)
+        _, result = run_workload(
+            workload, processes=4, seed=1, interval=30.0,
+            crashes=[(0, 25.0), (2, 65.0)], spare_nodes=4,
+        )
+        # Theorem 2's contract: recovered and consistent, or aborted --
+        # never a protocol-level crash.
+        if result.aborted:
+            assert result.abort_reason
+        else:
+            assert result.completed
+            assert workload.verify(result).ok
+            assert not result.invariant_violations

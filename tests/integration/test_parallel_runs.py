@@ -1,0 +1,131 @@
+"""Integration tests: the parallel engine against the real simulator.
+
+The parallel engine's contract is *invisibility*: every table, metric
+and counter must come out byte-identical whether a study ran serially or
+fanned out over workers.  These tests exercise that contract end to end
+-- real ``DisomSystem`` runs through ``Sweep``, the experiment runner
+and the bench suite -- plus the check-report aggregation path.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.sweep import Sweep
+from repro.experiments.runner import run_experiments
+from repro.parallel import WorkerFailure
+
+
+def _run_point(processes: int, seed: int) -> dict:
+    """One real simulated run; module-level so it pickles into workers."""
+    from repro.checkpoint.policy import CheckpointPolicy
+    from repro.cluster.config import ClusterConfig
+    from repro.cluster.system import DisomSystem
+    from repro.workloads import SyntheticWorkload
+
+    workload = SyntheticWorkload(rounds=4, objects=3)
+    system = DisomSystem(
+        ClusterConfig(processes=processes, seed=seed),
+        CheckpointPolicy(interval=40.0),
+    )
+    workload.setup(system)
+    result = system.run()
+    assert result.completed and workload.verify(result).ok
+    return {
+        "events": system.kernel.dispatched,
+        "messages": result.net["total_messages"],
+        "acquires": (result.metrics.total_local_acquires
+                     + result.metrics.total_remote_acquires),
+    }
+
+
+def _identity(metrics: dict) -> dict:
+    return metrics
+
+
+class TestSweepEquality:
+    def test_real_run_sweep_identical_serial_vs_parallel(self):
+        sweep = Sweep(axes={"processes": [2, 4], "seed": [0, 1, 2]},
+                      title="parallel-equality")
+        serial = sweep.run(_run_point, extract=_identity, jobs=1)
+        fanned = sweep.run(_run_point, extract=_identity, jobs=4)
+        assert [r.params for r in serial.rows] == \
+               [r.params for r in fanned.rows]
+        assert [r.metrics for r in serial.rows] == \
+               [r.metrics for r in fanned.rows]
+        assert serial.table().render() == fanned.table().render()
+
+
+class TestExperimentRunner:
+    def test_experiment_results_identical_serial_vs_parallel(self):
+        serial, _ = run_experiments(["E2", "E12"], quick=True, jobs=1)
+        fanned, _ = run_experiments(["E2", "E12"], quick=True, jobs=4)
+        assert [eid for eid, _ in serial] == [eid for eid, _ in fanned]
+        for (eid, a), (_, b) in zip(serial, fanned):
+            assert not isinstance(a, WorkerFailure), f"{eid} failed serially"
+            assert not isinstance(b, WorkerFailure), f"{eid} failed fanned"
+            assert a.render() == b.render(), f"{eid} diverged under --jobs"
+            assert a.findings == b.findings
+
+    def test_outcomes_in_registry_order(self):
+        outcomes, _ = run_experiments(["E12", "E2"], quick=True, jobs=2)
+        assert [eid for eid, _ in outcomes] == ["E2-no-extra-messages",
+                                               "E12-interference"]
+
+    def test_check_reports_aggregate_across_workers(self):
+        outcomes, merged = run_experiments(["E2", "E12"], quick=True,
+                                           check=True, jobs=2)
+        assert all(not isinstance(o, WorkerFailure) for _, o in outcomes)
+        assert merged is not None
+        assert merged.ok
+        assert merged.events_checked > 0
+        # The merged report covers runs from *both* worker processes.
+        serial_outcomes, serial_merged = run_experiments(
+            ["E2", "E12"], quick=True, check=True, jobs=1)
+        assert serial_merged is not None
+        assert merged.events_checked == serial_merged.events_checked
+
+
+class TestBenchParallel:
+    def test_bench_counters_identical_serial_vs_parallel(self, tmp_path):
+        from repro.perf.bench import run_suite
+
+        kwargs = dict(quick=True, seed=7, repeats=1,
+                      only=["micro_kernel", "exp_e2"])
+        serial = run_suite(jobs=1, **kwargs)
+        fanned = run_suite(jobs=2, **kwargs)
+        assert [r.name for r in serial] == [r.name for r in fanned]
+        for a, b in zip(serial, fanned):
+            assert (a.events, a.messages, a.peak_log_bytes) == \
+                   (b.events, b.messages, b.peak_log_bytes), a.name
+
+    def test_sweep_parallel_bench_records_speedup(self):
+        from repro.perf.bench import ALL_BENCHMARKS
+
+        record = ALL_BENCHMARKS["sweep_parallel"](
+            quick=True, seed=7, repeats=1, jobs=2)
+        assert record.name == "sweep_parallel"
+        assert record.params["jobs"] == 2
+        assert record.params["speedup_vs_serial"] > 0
+        assert record.events > 0 and record.messages > 0
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="speedup needs 4+ physical cores")
+class TestSpeedup:
+    def test_sweep_fanout_beats_serial(self):
+        import time
+
+        sweep = Sweep(axes={"processes": [4], "seed": list(range(8))})
+        start = time.perf_counter()
+        sweep.run(_run_point, extract=_identity, jobs=1)
+        serial_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        sweep.run(_run_point, extract=_identity, jobs=4)
+        parallel_wall = time.perf_counter() - start
+        # Loose bound: worker startup is amortized over only 8 points, so
+        # demand better-than-serial, not the full suite-level >=3x (that
+        # is measured by ``repro bench`` and recorded in BENCH_perf.json).
+        assert parallel_wall < serial_wall

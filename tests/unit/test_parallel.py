@@ -1,0 +1,223 @@
+"""Unit tests for the parallel run engine (repro.parallel).
+
+The worker functions here are module-level on purpose: spawn-context
+workers import tasks by reference, so anything handed to a RunPool must
+be addressable from a fresh interpreter.  Lambdas exercise the serial
+fallback instead.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.sweep import Sweep
+from repro.errors import ConfigError
+from repro.parallel import (
+    Call,
+    RunPool,
+    WorkerError,
+    WorkerFailure,
+    derive_seed,
+    raise_failures,
+    resolve_jobs,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_odd(x):
+    if x % 2 == 1:
+        raise ValueError(f"odd input {x}")
+    return x * 10
+
+
+def _sleep_then(seconds, value):
+    time.sleep(seconds)
+    return value
+
+
+def _point_value(a, b):
+    return {"value": a * 100 + b}
+
+
+def _point_metrics(outcome):
+    return outcome
+
+
+def _point_or_fail(a, b):
+    if a == 2 and b == 1:
+        raise RuntimeError(f"bad point a={a} b={b}")
+    return {"value": a * 100 + b}
+
+
+# ----------------------------------------------------------------------
+# derive_seed / resolve_jobs
+# ----------------------------------------------------------------------
+
+def test_derive_seed_is_pure_and_distinct():
+    assert derive_seed(7, "sweep", 3) == derive_seed(7, "sweep", 3)
+    assert derive_seed(7, "sweep", 3) != derive_seed(7, "sweep", 4)
+    assert derive_seed(7, "sweep", 3) != derive_seed(8, "sweep", 3)
+    assert derive_seed(7, "a", 1) != derive_seed(7, "a1")
+    for seed in (derive_seed(0), derive_seed(2**40, "x", -5)):
+        assert 0 <= seed < 2**63
+
+
+def test_derive_seed_pinned_value():
+    # Pinned literal: derive_seed must be stable across hosts, python
+    # versions and PYTHONHASHSEED -- a change here breaks reproducibility
+    # of every recorded parallel sweep.
+    assert derive_seed(7, "sweep", 3) == 8171890562619946638
+
+
+def test_derive_seed_rejects_non_int_str_components():
+    with pytest.raises(ConfigError):
+        derive_seed(7, 1.5)
+    with pytest.raises(ConfigError):
+        derive_seed(7, None)
+
+
+def test_resolve_jobs_contract():
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(0) >= 1  # one per CPU
+    with pytest.raises(ConfigError):
+        resolve_jobs(-2)
+
+
+# ----------------------------------------------------------------------
+# RunPool
+# ----------------------------------------------------------------------
+
+def test_runpool_serial_path_preserves_order():
+    with RunPool(jobs=1) as pool:
+        outcomes = pool.map([Call(_square, (i,)) for i in range(6)])
+    assert outcomes == [i * i for i in range(6)]
+    assert pool.ran_parallel is False
+
+
+def test_runpool_parallel_merges_by_submission_index():
+    with RunPool(jobs=2) as pool:
+        outcomes = pool.map([Call(_square, (i,), key=f"t{i}")
+                             for i in range(8)])
+    assert outcomes == [i * i for i in range(8)]
+    assert pool.ran_parallel is True
+    assert len(pool.last_workers) == 8
+
+
+def test_runpool_reused_across_maps():
+    with RunPool(jobs=2) as pool:
+        first = pool.map([Call(_square, (i,)) for i in range(4)])
+        second = pool.map([Call(_square, (i,)) for i in range(4, 8)])
+    assert first == [0, 1, 4, 9]
+    assert second == [16, 25, 36, 49]
+
+
+def test_runpool_marshals_errors_as_typed_failures():
+    with RunPool(jobs=2) as pool:
+        outcomes = pool.map([Call(_fail_on_odd, (i,), key=f"t{i}")
+                             for i in range(4)])
+    assert outcomes[0] == 0 and outcomes[2] == 20
+    for index in (1, 3):
+        failure = outcomes[index]
+        assert isinstance(failure, WorkerFailure)
+        assert failure.kind == "error"
+        assert failure.index == index
+        assert failure.error_type == "ValueError"
+        assert f"odd input {index}" in failure.message
+        assert "_fail_on_odd" in failure.traceback
+    with pytest.raises(ValueError, match="odd input 1"):
+        outcomes[1].raise_()
+    with pytest.raises(ValueError, match="odd input 1"):
+        raise_failures(outcomes)
+
+
+def test_runpool_unpicklable_task_falls_back_to_serial():
+    offset = 3
+    with RunPool(jobs=2) as pool:
+        outcomes = pool.map([Call(lambda x=i: x + offset) for i in range(4)])
+    assert outcomes == [3, 4, 5, 6]
+    assert pool.ran_parallel is False
+
+
+def test_runpool_single_task_stays_serial():
+    with RunPool(jobs=4) as pool:
+        outcomes = pool.map([Call(_square, (5,))])
+    assert outcomes == [25]
+    assert pool.ran_parallel is False
+
+
+def test_runpool_timeout_cancels_straggler():
+    calls = [
+        Call(_sleep_then, (0.0, "fast-0"), key="fast-0"),
+        Call(_sleep_then, (30.0, "slow"), key="slow"),
+        Call(_sleep_then, (0.0, "fast-1"), key="fast-1"),
+    ]
+    with RunPool(jobs=2, timeout=0.6) as pool:
+        outcomes = pool.map(calls)
+    assert outcomes[0] == "fast-0"
+    assert outcomes[2] == "fast-1"
+    failure = outcomes[1]
+    assert isinstance(failure, WorkerFailure)
+    assert failure.kind == "timeout"
+    assert failure.key == "slow"
+    with pytest.raises(WorkerError):
+        failure.raise_()
+
+
+def test_runpool_progress_reports_every_completion():
+    seen = []
+    with RunPool(jobs=2, progress=lambda done, total, key:
+                 seen.append((done, total))) as pool:
+        pool.map([Call(_square, (i,)) for i in range(5)])
+    assert sorted(seen) == [(i, 5) for i in range(1, 6)]
+
+
+def test_worker_failure_str_format():
+    failure = WorkerFailure(index=2, key="t2", kind="error",
+                            error_type="ValueError", message="bad 3")
+    assert str(failure) == "[error] ValueError: bad 3 (task t2)"
+
+
+# ----------------------------------------------------------------------
+# Sweep fan-out
+# ----------------------------------------------------------------------
+
+def test_sweep_parallel_table_identical_to_serial():
+    sweep = Sweep(axes={"a": [1, 2, 3], "b": [0, 1]}, title="eq")
+    serial = sweep.run(_point_value, extract=_point_metrics, jobs=1)
+    fanned = sweep.run(_point_value, extract=_point_metrics, jobs=2)
+    assert [r.params for r in serial.rows] == [r.params for r in fanned.rows]
+    assert [r.metrics for r in serial.rows] == [r.metrics for r in fanned.rows]
+    assert serial.table().render() == fanned.table().render()
+
+
+def test_sweep_keep_errors_rows_match_serial_format_and_order():
+    sweep = Sweep(axes={"a": [1, 2, 3], "b": [0, 1]}, title="errs")
+    serial = sweep.run(_point_or_fail, extract=_point_metrics,
+                       keep_errors=True, jobs=1)
+    fanned = sweep.run(_point_or_fail, extract=_point_metrics,
+                       keep_errors=True, jobs=2)
+    assert [r.error for r in serial.rows] == [r.error for r in fanned.rows]
+    errors = [r.error for r in fanned.rows if r.error]
+    assert errors == ["RuntimeError: bad point a=2 b=1"]
+    assert serial.table().render() == fanned.table().render()
+
+
+def test_sweep_without_keep_errors_raises_original_exception():
+    sweep = Sweep(axes={"a": [1, 2, 3], "b": [0, 1]})
+    with pytest.raises(RuntimeError, match="bad point a=2 b=1"):
+        sweep.run(_point_or_fail, extract=_point_metrics, jobs=2)
+
+
+def test_sweep_external_pool_amortizes_workers():
+    sweep = Sweep(axes={"a": [1, 2], "b": [0, 1]}, title="warm")
+    with RunPool(jobs=2) as pool:
+        first = sweep.run(_point_value, extract=_point_metrics, pool=pool)
+        second = sweep.run(_point_value, extract=_point_metrics, pool=pool)
+    assert [r.metrics for r in first.rows] == [r.metrics for r in second.rows]
