@@ -36,6 +36,7 @@ from repro.api import (
     run_bench,
     run_experiment,
     run_workload,
+    serve,
 )
 from repro.checkpoint.policy import CheckpointPolicy, CkpSet
 from repro.cluster.config import ClusterConfig, CrashPlan, RecoveryTiming
@@ -118,6 +119,8 @@ __all__ = [
     "StorageError",
     "StorageFault",
     "Tid",
+    "ScenarioClient",
+    "ScenarioServer",
     "attach_checkers",
     "make_backend",
     "open_store",
@@ -125,5 +128,17 @@ __all__ = [
     "run_bench",
     "run_experiment",
     "run_workload",
+    "serve",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy: the server package reads __version__ from this module, so
+    # importing it eagerly here would be a cycle.  ``repro.ScenarioClient``
+    # and ``repro.ScenarioServer`` resolve on first use instead.
+    if name in ("ScenarioClient", "ScenarioServer", "ScenarioReply"):
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,15 +1,19 @@
 """The public facade: one import surface for the common workflows.
 
 Everything here is re-exported from :mod:`repro`, so user code (and the
-CLI, and the examples) can stay on five verbs without knowing the
-package layout::
+CLI, and the examples) can stay on a handful of verbs without knowing
+the package layout::
 
     from repro import run_workload, run_experiment, run_bench
     from repro import attach_checkers, open_store
+    from repro import serve, ScenarioClient
 
     system, result = run_workload("synthetic", processes=8, seed=3)
     report = run_experiment("E2")
     bench = run_bench(quick=True)
+
+    server = serve(port=0, jobs=2, block=False)    # scenario service
+    reply = ScenarioClient(server.base_url).run_workload("sor", seed=3)
 
 Each function is a thin composition over the underlying subsystems --
 :mod:`repro.cluster`, :mod:`repro.experiments`, :mod:`repro.perf`,
@@ -184,3 +188,41 @@ def open_store(store_dir: str, *, compress: bool = True, fsync: bool = True,
         raise ConfigError("open_store requires a store directory path")
     return make_backend(store_dir, compress=compress, fsync=fsync,
                         incremental=incremental)
+
+
+def serve(host: str = "127.0.0.1", port: int = 8723, *, jobs: int = 1,
+          cache_dir: Optional[str] = None, cache_entries: int = 1024,
+          request_timeout: Optional[float] = 300.0, max_pending: int = 16,
+          quiet: bool = True, block: bool = True) -> Any:
+    """Run the scenario server: simulation-as-a-service over HTTP/JSON.
+
+    Accepts JSON scenario documents on ``POST /scenario`` and serves
+    repeat requests from a content-addressed result cache (keyed on
+    configuration fingerprint ⊕ seed ⊕ code version) without
+    recomputing; ``/healthz``, ``/metrics`` and ``/version`` ride
+    along.  ``jobs`` sizes the warm worker pool, ``request_timeout``
+    is the per-scenario deadline, ``max_pending`` bounds admission
+    (beyond it requests answer 429), and ``cache_dir`` makes the cache
+    durable on disk.  ``block=False`` serves from a background thread
+    and returns the live :class:`~repro.server.app.ScenarioServer`.
+    """
+    from repro.server.app import serve as _serve
+
+    return _serve(host, port, jobs=jobs, cache_dir=cache_dir,
+                  cache_entries=cache_entries,
+                  request_timeout=request_timeout, max_pending=max_pending,
+                  quiet=quiet, block=block)
+
+
+def __getattr__(name: str) -> Any:
+    # Lazy re-exports: pulling the server package at repro import time
+    # would cycle through repro/__init__ (handlers read __version__).
+    if name in ("ScenarioClient", "ScenarioReply"):
+        from repro.server import client
+
+        return getattr(client, name)
+    if name == "ScenarioServer":
+        from repro.server.app import ScenarioServer
+
+        return ScenarioServer
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

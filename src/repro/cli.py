@@ -22,6 +22,8 @@
     python -m repro storage inspect --store-dir /tmp/ckpts
     python -m repro storage verify --store-dir /tmp/ckpts
     python -m repro storage gc --store-dir /tmp/ckpts
+    python -m repro serve                         # scenario server :8723
+    python -m repro serve --port 9000 --jobs 4 --cache-dir /tmp/scache
 
 Flag spelling is uniform across subcommands: ``--seed`` (RNG seed),
 ``--check`` (inline verification), ``--store-dir`` (durable on-disk
@@ -173,6 +175,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for benchmark repeats "
                             "(0 = one per CPU; wall-clock is normalized "
                             "by per-worker calibration)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the scenario server: accepts JSON scenario requests "
+             "over HTTP, caches results by content address")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8723,
+                       help="bind port (default 8723; 0 = ephemeral)")
+    serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="warm worker processes executing scenarios "
+                            "(0 = one per CPU; default 1)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="durable on-disk result cache (default: "
+                            "in-memory only)")
+    serve.add_argument("--cache-entries", type=int, default=1024,
+                       metavar="N",
+                       help="result-cache capacity before LRU eviction "
+                            "(default 1024)")
+    serve.add_argument("--timeout", type=float, default=300.0,
+                       metavar="SECONDS",
+                       help="per-scenario deadline; past it the worker is "
+                            "cancelled and the request answers 504 "
+                            "(default 300)")
+    serve.add_argument("--max-queue", type=int, default=16, metavar="N",
+                       help="admitted-but-unfinished scenario bound; "
+                            "beyond it requests answer 429 (default 16)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log each request to stderr")
 
     storage = sub.add_parser(
         "storage", help="inspect an on-disk checkpoint store")
@@ -530,6 +561,33 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server.app import ScenarioServer
+
+    server = ScenarioServer(
+        args.host, args.port, jobs=args.jobs, cache_dir=args.cache_dir,
+        cache_entries=args.cache_entries, request_timeout=args.timeout,
+        max_pending=args.max_queue, quiet=not args.verbose)
+    host, port = server.address
+    print(f"repro scenario server listening on http://{host}:{port}")
+    print(f"  code version : {server.code_version}")
+    print(f"  workers      : {server.service.jobs} warm "
+          f"(timeout {args.timeout:g}s, queue bound {args.max_queue})")
+    print(f"  result cache : "
+          + (f"{args.cache_dir} (disk, {args.cache_entries} entries)"
+             if args.cache_dir else
+             f"in-memory ({args.cache_entries} entries)"))
+    print("  endpoints    : POST /scenario; GET /healthz /metrics "
+          "/version /registry")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.close()
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -544,6 +602,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return cmd_experiments(args)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     if args.command == "storage":
         return cmd_storage(args.action, args.store_dir)
     raise AssertionError("unreachable")

@@ -12,10 +12,14 @@ provides the one engine all of those layers share:
 * :func:`~repro.parallel.seeds.derive_seed` -- hash-based, process- and
   platform-stable child-seed derivation;
 * :func:`~repro.parallel.seeds.resolve_jobs` -- the uniform ``--jobs``
-  contract (``1`` serial, ``0`` = one worker per CPU).
+  contract (``1`` serial, ``0`` = one worker per CPU);
+* :class:`~repro.parallel.service.PoolService` -- the long-lived
+  request/response face of the same worker protocol (warm workers,
+  bounded admission, per-task deadlines) used by the scenario server.
 
 Consumers: ``Sweep.run(jobs=N)``, ``repro experiments --jobs N``,
-``repro bench --jobs N`` and the corresponding :mod:`repro.api` knobs.
+``repro bench --jobs N``, ``repro serve`` and the corresponding
+:mod:`repro.api` knobs.
 The determinism guarantee is that any of those with ``jobs=N`` produces
 byte-identical tables and metrics to ``jobs=1``; only wall-clock
 changes.
@@ -29,10 +33,18 @@ from repro.parallel.pool import (
     raise_failures,
 )
 from repro.parallel.seeds import derive_seed, resolve_jobs
+from repro.parallel.service import (
+    PoolService,
+    QueueFullError,
+    ServiceClosedError,
+)
 
 __all__ = [
     "Call",
+    "PoolService",
+    "QueueFullError",
     "RunPool",
+    "ServiceClosedError",
     "WorkerError",
     "WorkerFailure",
     "derive_seed",

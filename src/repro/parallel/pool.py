@@ -339,28 +339,38 @@ class RunPool:
 
     @staticmethod
     def _decode(index: int, call: Call, body: bytes) -> Any:
-        try:
-            decoded = pickle.loads(body)
-        except Exception as exc:  # pragma: no cover - defensive
-            return WorkerFailure(
-                index=index, key=call.key, kind="error",
-                error_type=type(exc).__name__,
-                message=f"could not decode worker result: {exc}",
-            )
-        if decoded[0] == "ok":
-            return decoded[1]
-        _, error_type, message, trace, exc_bytes = decoded
-        exception: Optional[BaseException] = None
-        if exc_bytes is not None:
-            try:
-                exception = pickle.loads(exc_bytes)
-            except Exception:  # pragma: no cover - worker pre-validated
-                exception = None
+        return decode_result_body(index, call.key, body)
+
+
+def decode_result_body(index: int, key: str, body: bytes) -> Any:
+    """Decode one ``("done", ...)`` body from the worker wire protocol.
+
+    Returns the task's value, or a :class:`WorkerFailure` row carrying
+    the worker-side error.  Shared by :class:`RunPool` (batch merging)
+    and :class:`repro.parallel.service.PoolService` (request/response).
+    """
+    try:
+        decoded = pickle.loads(body)
+    except Exception as exc:  # pragma: no cover - defensive
         return WorkerFailure(
-            index=index, key=call.key, kind="error",
-            error_type=error_type, message=message, traceback=trace,
-            exception=exception,
+            index=index, key=key, kind="error",
+            error_type=type(exc).__name__,
+            message=f"could not decode worker result: {exc}",
         )
+    if decoded[0] == "ok":
+        return decoded[1]
+    _, error_type, message, trace, exc_bytes = decoded
+    exception: Optional[BaseException] = None
+    if exc_bytes is not None:
+        try:
+            exception = pickle.loads(exc_bytes)
+        except Exception:  # pragma: no cover - worker pre-validated
+            exception = None
+    return WorkerFailure(
+        index=index, key=key, kind="error",
+        error_type=error_type, message=message, traceback=trace,
+        exception=exception,
+    )
 
 
 def raise_failures(outcomes: Sequence[Any]) -> None:

@@ -18,30 +18,44 @@ from __future__ import annotations
 
 import hashlib
 import os
-from typing import Optional, Union
+from typing import Mapping, Optional, Sequence, Union
 
 from repro.errors import ConfigError
+from repro.fingerprint import canonical_json
 
 #: Upper bound (exclusive) for derived seeds: keep them in the positive
 #: 63-bit range so they survive every integer path in the simulator.
 _SEED_SPACE = 1 << 63
 
 
-def derive_seed(base_seed: int, *components: Union[int, str]) -> int:
+def derive_seed(
+    base_seed: int, *components: Union[int, str, Mapping, Sequence]
+) -> int:
     """Derive a child seed from ``base_seed`` and a path of components.
 
     ``derive_seed(7, "sweep", 3)`` is a pure function of its arguments:
     the same call returns the same seed in any process on any host, and
     different component paths give statistically independent seeds.
-    Components may be ints or strings (floats would re-introduce
-    formatting ambiguity; convert them explicitly).
+    Components may be ints, strings, or whole configuration mappings /
+    sequences -- the latter are spelled through
+    :func:`repro.fingerprint.canonical_json`, so a dict component mixes
+    identically regardless of its insertion order.  Bare floats are
+    still rejected (they would re-introduce formatting ambiguity at the
+    call site; convert them explicitly or nest them in a mapping, where
+    the canonical JSON form pins the spelling).
     """
     digest = hashlib.sha256()
     digest.update(str(int(base_seed)).encode("ascii"))
     for component in components:
-        if not isinstance(component, (int, str)):
+        if isinstance(component, (Mapping, list, tuple)) or (
+            isinstance(component, Sequence)
+            and not isinstance(component, (str, bytes))
+        ):
+            component = canonical_json(component)
+        elif not isinstance(component, (int, str)):
             raise ConfigError(
-                f"seed components must be int or str, got "
+                f"seed components must be int, str, or a JSON-canonical "
+                f"mapping/sequence, got "
                 f"{type(component).__name__}: {component!r}"
             )
         digest.update(b"\x00")

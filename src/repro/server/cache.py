@@ -1,0 +1,286 @@
+"""Content-addressed result cache for scenario response bodies.
+
+Because runs are deterministic, a response body is a pure function of
+its cache key -- ``config_fingerprint() ⊕ seed ⊕ code version`` (see
+:meth:`repro.server.scenario.ScenarioSpec.cache_key`).  That makes the
+cache *content-addressed*: the key names the bytes, the bytes never
+change under a key, and invalidation reduces to "a new code version is
+a new key".  Entries therefore need no TTL -- only capacity eviction.
+
+Storage reuses the stable-storage layer's publication idiom
+(:func:`repro.storage.backend.atomic_write_file`: write temp + fsync +
+atomic rename), and each entry carries a CRC32 envelope so a torn or
+rotted entry is *detected* and treated as a miss -- the declared
+failure mode is always "recompute", never "serve garbage".  The same
+:class:`~repro.storage.faults.StorageFaultInjector` the checkpoint
+backends use can be armed on the cache, so tests drive every disk
+failure mode through the real code path.
+
+Layout under ``root`` (when disk-backed)::
+
+    <key>.rc    MAGIC ++ crc32(body) ++ len(body) ++ body
+
+Eviction is LRU over ``max_entries``: reads refresh an entry's file
+mtime, so recency survives a restart (the startup scan orders the
+index by mtime).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.storage.backend import atomic_write_file
+from repro.storage.faults import StorageFault, StorageFaultInjector
+
+#: Entry envelope magic + version.
+_MAGIC = b"RRC1"
+#: Envelope header: magic, crc32 of body, body length.
+_HEADER = struct.Struct(">4sII")
+#: Entry filename suffix.
+_SUFFIX = ".rc"
+
+
+@dataclass
+class CacheCounters:
+    """Cache-level accounting, surfaced through ``/metrics``."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    corrupt_entries: int = 0
+    lost_writes: int = 0
+    bytes_served: int = 0
+    bytes_written: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "corrupt_entries": self.corrupt_entries,
+            "lost_writes": self.lost_writes,
+            "bytes_served": self.bytes_served,
+            "bytes_written": self.bytes_written,
+        }
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+def _encode_entry(body: bytes) -> bytes:
+    return _HEADER.pack(_MAGIC, zlib.crc32(body) & 0xFFFFFFFF,
+                        len(body)) + body
+
+
+def _decode_entry(blob: bytes) -> bytes:
+    """Body bytes of one envelope; raises ``ValueError`` when corrupt."""
+    if len(blob) < _HEADER.size:
+        raise ValueError("entry shorter than its header")
+    magic, crc, length = _HEADER.unpack_from(blob)
+    if magic != _MAGIC:
+        raise ValueError(f"bad magic {magic!r}")
+    body = blob[_HEADER.size:]
+    if len(body) != length:
+        raise ValueError(f"torn entry: header says {length} bytes, "
+                         f"found {len(body)}")
+    if (zlib.crc32(body) & 0xFFFFFFFF) != crc:
+        raise ValueError("CRC mismatch")
+    return body
+
+
+class ResultCache:
+    """Disk-backed (or in-memory) LRU cache of response bodies by key.
+
+    ``root=None`` keeps entries in memory only -- same interface, same
+    counters, no persistence; the server uses it when started without
+    ``--cache-dir``.  All methods are thread-safe.
+    """
+
+    def __init__(self, root: Optional[str] = None, max_entries: int = 1024,
+                 fsync: bool = False,
+                 faults: Optional[StorageFaultInjector] = None) -> None:
+        if max_entries < 1:
+            raise ConfigError(f"max_entries must be >= 1, got {max_entries}")
+        self.root = os.path.abspath(root) if root is not None else None
+        self.max_entries = max_entries
+        self.fsync = fsync
+        self.faults = faults or StorageFaultInjector()
+        self.counters = CacheCounters()
+        self._lock = threading.Lock()
+        #: key -> in-memory body (memory mode) or None (disk mode);
+        #: ordering is recency (last = most recently used).
+        self._index: "OrderedDict[str, Optional[bytes]]" = OrderedDict()
+        #: Monotonic write sequence, the ``seq`` coordinate handed to
+        #: the fault injector (``pid`` is always 0 for the cache).
+        self._write_seq = 0
+        if self.root is not None:
+            os.makedirs(self.root, exist_ok=True)
+            self._scan()
+
+    # ------------------------------------------------------------------
+    # public interface
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[bytes]:
+        """The cached body for ``key``, or None (miss or corrupt)."""
+        with self._lock:
+            if key not in self._index:
+                self.counters.misses += 1
+                return None
+            if self.root is None:
+                body = self._index[key]
+                self._index.move_to_end(key)
+            else:
+                body = self._read_disk(key)
+                if body is None:
+                    # Detected-corrupt entry: drop it; caller recomputes.
+                    self._index.pop(key, None)
+                    self.counters.misses += 1
+                    return None
+                self._index.move_to_end(key)
+                self._touch(key)
+            self.counters.hits += 1
+            self.counters.bytes_served += len(body)
+            return body
+
+    def put(self, key: str, body: bytes) -> bool:
+        """Store ``body`` under ``key``; False if the write was lost.
+
+        A lost write (injected stale-slot/missing-rename fault, or an
+        OS error) is *fail-open*: the cache simply stays without the
+        entry and the next request recomputes.
+        """
+        if not isinstance(body, bytes):
+            raise ConfigError(
+                f"cache bodies are bytes, got {type(body).__name__}"
+            )
+        with self._lock:
+            self._write_seq += 1
+            seq = self._write_seq
+            self.counters.puts += 1
+            if self.faults.should_fire(StorageFault.STALE_SLOT, 0, seq):
+                self.counters.lost_writes += 1
+                return False
+            if self.root is None:
+                self._index[key] = body
+                self._index.move_to_end(key)
+            else:
+                if not self._write_disk(key, body, seq):
+                    self.counters.lost_writes += 1
+                    return False
+                self._index[key] = None
+                self._index.move_to_end(key)
+            self.counters.bytes_written += len(body)
+            self._evict()
+            return True
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._index
+
+    def keys(self) -> List[str]:
+        """Keys, least- to most-recently used."""
+        with self._lock:
+            return list(self._index)
+
+    # ------------------------------------------------------------------
+    # disk plumbing
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> str:
+        assert self.root is not None
+        safe = "".join(ch for ch in key if ch.isalnum() or ch in "-_")
+        return os.path.join(self.root, safe + _SUFFIX)
+
+    def _scan(self) -> None:
+        """Rebuild the index from disk, ordered oldest-mtime first."""
+        assert self.root is not None
+        entries = []
+        for name in os.listdir(self.root):
+            if not name.endswith(_SUFFIX):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                entries.append((os.path.getmtime(path), name[:-len(_SUFFIX)]))
+            except OSError:
+                continue
+        for _, key in sorted(entries):
+            self._index[key] = None
+
+    def _read_disk(self, key: str) -> Optional[bytes]:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError:
+            return None
+        try:
+            return _decode_entry(blob)
+        except ValueError:
+            self.counters.corrupt_entries += 1
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            return None
+
+    def _write_disk(self, key: str, body: bytes, seq: int) -> bool:
+        path = self._path(key)
+        blob = _encode_entry(body)
+        if self.faults.should_fire(StorageFault.TORN_WRITE, 0, seq):
+            blob = blob[: max(len(blob) * 3 // 5, 1)]
+        if self.faults.should_fire(StorageFault.MISSING_RENAME, 0, seq):
+            # Crash between staging and rename: nothing published.
+            return False
+        try:
+            atomic_write_file(path, blob, fsync=self.fsync)
+        except OSError:
+            return False
+        if self.faults.should_fire(StorageFault.BIT_FLIP, 0, seq):
+            self._flip_byte(path)
+        return True
+
+    @staticmethod
+    def _flip_byte(path: str) -> None:
+        with open(path, "r+b") as handle:
+            blob = handle.read()
+            if len(blob) <= _HEADER.size:
+                return
+            # Deterministic target inside the body, scaled by content.
+            span = len(blob) - _HEADER.size
+            index = _HEADER.size + (zlib.crc32(blob) % span)
+            handle.seek(index)
+            handle.write(bytes([blob[index] ^ 0x40]))
+
+    def _touch(self, key: str) -> None:
+        try:
+            os.utime(self._path(key))
+        except OSError:  # pragma: no cover - recency then rests in memory
+            pass
+
+    def _evict(self) -> None:
+        """Drop least-recently-used entries beyond capacity (lock held)."""
+        while len(self._index) > self.max_entries:
+            key, _ = self._index.popitem(last=False)
+            self.counters.evictions += 1
+            if self.root is not None:
+                try:
+                    os.unlink(self._path(key))
+                except OSError:  # pragma: no cover - already gone
+                    pass
+
+
+__all__ = ["CacheCounters", "ResultCache"]

@@ -1,0 +1,137 @@
+"""``ScenarioClient``: a stdlib HTTP client for the scenario server.
+
+Thin by design -- ``urllib`` plus the canonical JSON spelling -- so the
+CLI, tests, CI smoke jobs and user scripts all speak to the server the
+same way without any dependency beyond the standard library::
+
+    client = ScenarioClient("http://127.0.0.1:8723")
+    reply = client.scenario(workload="synthetic", seed=3)
+    assert reply.ok and reply.cache_status in ("hit", "miss")
+    print(reply.json["result"]["duration"], client.metrics())
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class ScenarioReply:
+    """One HTTP exchange with the server, status included.
+
+    Non-200 answers are returned, not raised: 429/504 are part of the
+    server's declared behavior and callers decide how to react.
+    """
+
+    status: int
+    body: bytes
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+    @property
+    def json(self) -> Any:
+        return json.loads(self.body.decode("utf-8"))
+
+    @property
+    def cache_status(self) -> Optional[str]:
+        """``hit`` / ``coalesced`` / ``miss`` on successful scenarios."""
+        return self.headers.get("x-repro-cache")
+
+
+class ScenarioClient:
+    """Client for one scenario server at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 600.0) -> None:
+        if not base_url.startswith(("http://", "https://")):
+            raise ConfigError(
+                f"base_url must be an http(s) URL, got {base_url!r}"
+            )
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # scenario submission
+    # ------------------------------------------------------------------
+    def scenario(self, document: Optional[Dict[str, Any]] = None,
+                 **fields: Any) -> ScenarioReply:
+        """POST one scenario document (as a dict, kwargs, or both)."""
+        merged = dict(document or {})
+        merged.update(fields)
+        payload = json.dumps(merged).encode("utf-8")
+        return self._request("POST", "/scenario", payload)
+
+    def run_workload(self, workload: str, **fields: Any) -> ScenarioReply:
+        """Convenience: a ``kind="workload"`` scenario."""
+        return self.scenario(kind="workload", workload=workload, **fields)
+
+    def run_experiment(self, experiment: str, **fields: Any) -> ScenarioReply:
+        """Convenience: a ``kind="experiment"`` scenario."""
+        return self.scenario(kind="experiment", experiment=experiment,
+                             **fields)
+
+    # ------------------------------------------------------------------
+    # service endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz").json
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/metrics").json
+
+    def version(self) -> Dict[str, Any]:
+        return self._request("GET", "/version").json
+
+    def registry(self) -> Dict[str, Any]:
+        return self._request("GET", "/registry").json
+
+    def wait_ready(self, attempts: int = 50,
+                   delay_seconds: float = 0.1) -> bool:
+        """Poll ``/healthz`` until the server answers (or give up)."""
+        import time
+
+        for _ in range(attempts):
+            try:
+                if self.health().get("status") == "ok":
+                    return True
+            except (OSError, ValueError):
+                pass
+            time.sleep(delay_seconds)
+        return False
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 payload: Optional[bytes] = None) -> ScenarioReply:
+        request = urllib.request.Request(
+            self.base_url + path, data=payload, method=method,
+            headers={"Content-Type": "application/json"}
+            if payload is not None else {},
+        )
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return ScenarioReply(
+                    status=response.status,
+                    body=response.read(),
+                    headers={k.lower(): v for k, v in response.headers.items()},
+                )
+        except urllib.error.HTTPError as exc:
+            return ScenarioReply(
+                status=exc.code,
+                body=exc.read(),
+                headers={k.lower(): v for k, v in exc.headers.items()}
+                if exc.headers else {},
+            )
+
+
+__all__ = ["ScenarioClient", "ScenarioReply"]

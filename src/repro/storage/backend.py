@@ -40,6 +40,32 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 SLOT_NAMES = ("slot-a.ckpt", "slot-b.ckpt")
 
 
+def atomic_write_file(path: str, blob: bytes, fsync: bool = True) -> None:
+    """Write ``blob`` to ``path`` via write-temp + fsync + atomic rename.
+
+    The publication idiom both checkpoint slots and the scenario result
+    cache rely on: readers only ever observe the old content or the
+    complete new content, never a torn intermediate (modulo injected
+    faults, which deliberately bypass this helper).
+    """
+    tmp = path + ".wr"
+    with open(tmp, "wb") as handle:
+        handle.write(blob)
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def fsync_dir(path: str) -> None:
+    """fsync a directory so a just-renamed entry survives power loss."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 @dataclass
 class StorageCounters:
     """Backend-level accounting, surfaced through the run metrics."""
@@ -291,22 +317,12 @@ class FileBackend(StorageBackend):
 
     # -- low-level io --------------------------------------------------
     def _write_file(self, path: str, blob: bytes) -> None:
-        tmp = path + ".wr"
-        with open(tmp, "wb") as handle:
-            handle.write(blob)
-            handle.flush()
-            if self.fsync:
-                os.fsync(handle.fileno())
-        os.replace(tmp, path)
+        atomic_write_file(path, blob, fsync=self.fsync)
 
     def _fsync_dir(self, path: str) -> None:
         if not self.fsync:
             return
-        fd = os.open(path, os.O_RDONLY)
-        try:
-            os.fsync(fd)
-        finally:
-            os.close(fd)
+        fsync_dir(path)
 
     # -- write path ----------------------------------------------------
     def begin_write(self, checkpoint: Checkpoint) -> int:
@@ -624,5 +640,7 @@ __all__ = [
     "StorageBackend",
     "StorageCounters",
     "StorageError",
+    "atomic_write_file",
+    "fsync_dir",
     "make_backend",
 ]

@@ -1,0 +1,208 @@
+"""Unit tests for the scenario server's content-addressed ResultCache.
+
+The contract under test: a hit serves the exact bytes that were put, a
+detected-corrupt entry is a miss (never garbage), lost writes fail open,
+and recency survives a restart.  Disk failure modes are driven through
+the same :class:`~repro.storage.faults.StorageFaultInjector` the
+checkpoint backends use, so the corruption paths exercised here are the
+real ones.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.server.cache import ResultCache, _HEADER, _MAGIC
+from repro.storage.faults import StorageFault, StorageFaultInjector
+
+BODY_A = b'{"result":"alpha"}\n'
+BODY_B = b'{"result":"beta"}\n'
+
+
+# ----------------------------------------------------------------------
+# basic hit/miss, both modes
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("disk", [False, True])
+def test_miss_then_put_then_hit(tmp_path, disk):
+    cache = ResultCache(str(tmp_path / "c") if disk else None)
+    assert cache.get("k1") is None
+    assert cache.put("k1", BODY_A) is True
+    assert cache.get("k1") == BODY_A
+    assert cache.counters.misses == 1
+    assert cache.counters.hits == 1
+    assert cache.counters.puts == 1
+    assert cache.counters.bytes_served == len(BODY_A)
+    assert cache.counters.hit_rate == 0.5
+    assert "k1" in cache and len(cache) == 1
+
+
+def test_put_overwrites_in_place(tmp_path):
+    cache = ResultCache(str(tmp_path / "c"))
+    cache.put("k1", BODY_A)
+    cache.put("k1", BODY_B)
+    assert cache.get("k1") == BODY_B
+    assert len(cache) == 1
+
+
+def test_put_rejects_non_bytes(tmp_path):
+    cache = ResultCache(str(tmp_path / "c"))
+    with pytest.raises(ConfigError):
+        cache.put("k1", "not bytes")  # type: ignore[arg-type]
+
+
+def test_max_entries_validated():
+    with pytest.raises(ConfigError):
+        ResultCache(None, max_entries=0)
+
+
+# ----------------------------------------------------------------------
+# LRU eviction
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("disk", [False, True])
+def test_lru_eviction_drops_least_recently_used(tmp_path, disk):
+    cache = ResultCache(str(tmp_path / "c") if disk else None, max_entries=2)
+    cache.put("a", BODY_A)
+    cache.put("b", BODY_B)
+    assert cache.get("a") == BODY_A      # refresh "a"; "b" is now LRU
+    cache.put("c", BODY_A)
+    assert cache.counters.evictions == 1
+    assert "b" not in cache
+    assert cache.get("a") == BODY_A
+    assert cache.get("c") == BODY_A
+    assert cache.keys() == ["a", "c"]
+
+
+def test_eviction_removes_file_from_disk(tmp_path):
+    root = tmp_path / "c"
+    cache = ResultCache(str(root), max_entries=1)
+    cache.put("a", BODY_A)
+    cache.put("b", BODY_B)
+    names = sorted(p.name for p in root.iterdir() if p.suffix == ".rc")
+    assert names == ["b.rc"]
+
+
+# ----------------------------------------------------------------------
+# persistence across instances (restart)
+# ----------------------------------------------------------------------
+
+def test_entries_survive_restart(tmp_path):
+    root = str(tmp_path / "c")
+    first = ResultCache(root)
+    first.put("k1", BODY_A)
+    first.put("k2", BODY_B)
+
+    second = ResultCache(root)
+    assert len(second) == 2
+    assert second.get("k1") == BODY_A
+    assert second.get("k2") == BODY_B
+    assert second.counters.hits == 2
+
+
+def test_restart_scan_ignores_foreign_files(tmp_path):
+    root = tmp_path / "c"
+    root.mkdir()
+    (root / "README.txt").write_text("not an entry")
+    cache = ResultCache(str(root))
+    assert len(cache) == 0
+
+
+# ----------------------------------------------------------------------
+# corrupt entries: detected -> miss -> recompute path
+# ----------------------------------------------------------------------
+
+def _entry_path(root, key):
+    return os.path.join(str(root), key + ".rc")
+
+
+def test_truncated_entry_is_a_miss_and_deleted(tmp_path):
+    root = tmp_path / "c"
+    cache = ResultCache(str(root))
+    cache.put("k1", BODY_A)
+    path = _entry_path(root, "k1")
+    with open(path, "r+b") as handle:
+        handle.truncate(_HEADER.size + 3)
+    assert cache.get("k1") is None
+    assert cache.counters.corrupt_entries == 1
+    assert not os.path.exists(path)
+    # The recompute path: a fresh put restores service.
+    assert cache.put("k1", BODY_A) is True
+    assert cache.get("k1") == BODY_A
+
+
+def test_bad_magic_is_a_miss(tmp_path):
+    root = tmp_path / "c"
+    cache = ResultCache(str(root))
+    cache.put("k1", BODY_A)
+    path = _entry_path(root, "k1")
+    blob = open(path, "rb").read()
+    with open(path, "wb") as handle:
+        handle.write(b"XXXX" + blob[len(_MAGIC):])
+    assert cache.get("k1") is None
+    assert cache.counters.corrupt_entries == 1
+
+
+def test_flipped_body_byte_fails_crc(tmp_path):
+    root = tmp_path / "c"
+    cache = ResultCache(str(root))
+    cache.put("k1", BODY_A)
+    path = _entry_path(root, "k1")
+    blob = bytearray(open(path, "rb").read())
+    blob[_HEADER.size + 2] ^= 0xFF
+    with open(path, "wb") as handle:
+        handle.write(bytes(blob))
+    assert cache.get("k1") is None
+    assert cache.counters.corrupt_entries == 1
+
+
+# ----------------------------------------------------------------------
+# injected storage faults (shared injector, pid 0, seq = write number)
+# ----------------------------------------------------------------------
+
+def test_stale_slot_fault_loses_the_write_fail_open(tmp_path):
+    faults = StorageFaultInjector()
+    faults.arm(StorageFault.STALE_SLOT, pid=0, seq=1)
+    cache = ResultCache(str(tmp_path / "c"), faults=faults)
+    assert cache.put("k1", BODY_A) is False
+    assert cache.counters.lost_writes == 1
+    assert cache.get("k1") is None
+    # Next write (seq 2) is clean: service restored.
+    assert cache.put("k1", BODY_A) is True
+    assert cache.get("k1") == BODY_A
+
+
+def test_missing_rename_fault_publishes_nothing(tmp_path):
+    root = tmp_path / "c"
+    faults = StorageFaultInjector()
+    faults.arm(StorageFault.MISSING_RENAME, pid=0, seq=1)
+    cache = ResultCache(str(root), faults=faults)
+    assert cache.put("k1", BODY_A) is False
+    assert cache.counters.lost_writes == 1
+    assert not os.path.exists(_entry_path(root, "k1"))
+    assert cache.put("k1", BODY_A) is True
+
+
+def test_torn_write_fault_detected_on_read(tmp_path):
+    faults = StorageFaultInjector()
+    faults.arm(StorageFault.TORN_WRITE, pid=0, seq=1)
+    cache = ResultCache(str(tmp_path / "c"), faults=faults)
+    assert cache.put("k1", BODY_A) is True   # write "succeeds"...
+    assert cache.get("k1") is None           # ...but decodes as corrupt
+    assert cache.counters.corrupt_entries == 1
+    assert cache.put("k1", BODY_A) is True
+    assert cache.get("k1") == BODY_A
+
+
+def test_bit_flip_fault_detected_on_read(tmp_path):
+    faults = StorageFaultInjector()
+    faults.arm(StorageFault.BIT_FLIP, pid=0, seq=1)
+    cache = ResultCache(str(tmp_path / "c"), faults=faults)
+    assert cache.put("k1", BODY_A) is True
+    assert cache.get("k1") is None
+    assert cache.counters.corrupt_entries == 1
+    assert cache.put("k1", BODY_A) is True
+    assert cache.get("k1") == BODY_A

@@ -1,0 +1,191 @@
+"""Unit tests for scenario validation, canonicalization and execution.
+
+Canonicalization is the cache's correctness condition: a request that
+spells every default and one that spells none must resolve to the same
+spec, fingerprint and cache key; anything unknown must 400 (reject)
+rather than silently alter what gets simulated under the same key.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.server.scenario import (
+    SCHEMA,
+    encode_response,
+    run_scenario,
+    validate_scenario,
+)
+
+
+# ----------------------------------------------------------------------
+# validation: precise 400s
+# ----------------------------------------------------------------------
+
+def test_unknown_workload_names_choices():
+    with pytest.raises(ConfigError, match="unknown workload 'nope'"):
+        validate_scenario({"workload": "nope"})
+
+
+def test_unknown_baseline_names_choices():
+    with pytest.raises(ConfigError, match="unknown baseline"):
+        validate_scenario({"workload": "synthetic", "baseline": "nope"})
+
+
+def test_unknown_field_rejected():
+    with pytest.raises(ConfigError, match="unknown scenario field"):
+        validate_scenario({"workload": "synthetic", "wrokload": "typo"})
+
+
+def test_unknown_param_rejected():
+    with pytest.raises(ConfigError, match="unknown parameter"):
+        validate_scenario({"workload": "synthetic",
+                           "params": {"bogus_knob": 1}})
+
+
+def test_unknown_consistency_model_rejected():
+    with pytest.raises(ConfigError, match="not implemented"):
+        validate_scenario({"workload": "synthetic",
+                           "consistency": "sequential"})
+
+
+def test_bad_kind_rejected():
+    with pytest.raises(ConfigError, match="kind"):
+        validate_scenario({"kind": "sorcery"})
+
+
+def test_processes_bounds():
+    with pytest.raises(ConfigError, match=r"\[1, 64\]"):
+        validate_scenario({"workload": "synthetic", "processes": 0})
+    with pytest.raises(ConfigError, match=r"\[1, 64\]"):
+        validate_scenario({"workload": "synthetic", "processes": 65})
+
+
+def test_bool_is_not_an_int():
+    with pytest.raises(ConfigError, match="seed"):
+        validate_scenario({"workload": "synthetic", "seed": True})
+
+
+def test_crash_pid_must_target_a_process():
+    with pytest.raises(ConfigError, match="outside"):
+        validate_scenario({"workload": "synthetic", "processes": 2,
+                           "crashes": [[5, 10.0]]})
+    with pytest.raises(ConfigError, match="bad crash entry"):
+        validate_scenario({"workload": "synthetic", "crashes": ["boom"]})
+
+
+def test_ambiguous_experiment_prefix_rejected():
+    with pytest.raises(ConfigError, match="matches"):
+        validate_scenario({"kind": "experiment", "experiment": "E1"})
+
+
+def test_unique_experiment_prefix_resolves():
+    spec = validate_scenario({"kind": "experiment", "experiment": "E2"})
+    assert spec.experiment == "E2-no-extra-messages"
+
+
+# ----------------------------------------------------------------------
+# canonicalization: defaults explicit vs omitted
+# ----------------------------------------------------------------------
+
+def test_defaults_spelled_and_omitted_fingerprint_identically():
+    bare = validate_scenario({"workload": "synthetic"})
+    spelled = validate_scenario({
+        "kind": "workload",
+        "workload": "synthetic",
+        "params": {},
+        "processes": 4,
+        "seed": 7,
+        "interval": 50.0,
+        "baseline": "disom",
+        "consistency": "entry",
+        "crashes": [],
+        "check": False,
+    })
+    assert bare == spelled
+    assert bare.fingerprint() == spelled.fingerprint()
+    assert bare.cache_key("v1") == spelled.cache_key("v1")
+
+
+def test_interval_int_and_float_spellings_agree():
+    # interval=50 and interval=50.0 mean the same scenario.
+    assert (validate_scenario({"workload": "synthetic", "interval": 50})
+            == validate_scenario({"workload": "synthetic", "interval": 50.0}))
+
+
+def test_cache_key_depends_on_seed_and_code_version():
+    base = validate_scenario({"workload": "synthetic"})
+    other_seed = validate_scenario({"workload": "synthetic", "seed": 8})
+    assert base.cache_key("v1") != other_seed.cache_key("v1")
+    assert base.cache_key("v1") != base.cache_key("v2")
+
+
+def test_param_order_is_invisible():
+    a = validate_scenario({"workload": "synthetic",
+                           "params": {"rounds": 3, "objects": 2}})
+    b = validate_scenario({"workload": "synthetic",
+                           "params": {"objects": 2, "rounds": 3}})
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_experiment_seed_defaults_to_curated():
+    spec = validate_scenario({"kind": "experiment",
+                              "experiment": "E1-figure1"})
+    assert spec.seed is None
+    override = validate_scenario({"kind": "experiment",
+                                  "experiment": "E1-figure1", "seed": 11})
+    assert override.seed == 11
+    assert spec.cache_key("v1") != override.cache_key("v1")
+
+
+# ----------------------------------------------------------------------
+# execution: deterministic, wall-clock-free payloads
+# ----------------------------------------------------------------------
+
+def _small_scenario():
+    return validate_scenario({"workload": "synthetic", "processes": 2,
+                              "seed": 3, "params": {"rounds": 4}})
+
+
+def test_run_scenario_repeat_is_byte_identical():
+    spec = _small_scenario()
+    first = encode_response(run_scenario(spec.as_dict()))
+    second = encode_response(run_scenario(spec.as_dict()))
+    assert first == second
+    assert first.endswith(b"\n")
+    first.decode("ascii")  # canonical bodies are pure ASCII
+
+
+def test_run_scenario_payload_shape():
+    payload = run_scenario(_small_scenario().as_dict())
+    assert payload["schema"] == SCHEMA
+    assert payload["scenario"]["workload"] == "synthetic"
+    result = payload["result"]
+    assert result["completed"] is True
+    assert result["verified"] is True
+    assert result["checkpoints"] >= 0
+    assert isinstance(result["duration"], float)
+    assert "overhead_seconds" not in str(payload)  # no wall-clock leaks
+
+
+def test_run_scenario_with_crash_reports_recovery():
+    spec = validate_scenario({"workload": "synthetic", "processes": 2,
+                              "seed": 3, "params": {"rounds": 12},
+                              "crashes": [[1, 30.0]]})
+    payload = run_scenario(spec.as_dict())
+    result = payload["result"]
+    assert result["completed"] is True
+    assert len(result["recoveries"]) == 1
+    assert result["recoveries"][0]["pid"] == 1
+
+
+def test_run_scenario_check_block_present_when_requested():
+    spec = validate_scenario({"workload": "synthetic", "processes": 2,
+                              "seed": 3, "params": {"rounds": 4},
+                              "check": True})
+    payload = run_scenario(spec.as_dict())
+    check = payload["result"]["check"]
+    assert check["violations"] == 0
+    assert check["events_checked"] > 0
+    assert "overhead_seconds" not in check
