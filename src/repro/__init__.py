@@ -32,6 +32,7 @@ Quickstart::
 
 from repro.api import (
     attach_checkers,
+    fuzz,
     open_store,
     run_bench,
     run_experiment,
@@ -122,6 +123,7 @@ __all__ = [
     "ScenarioClient",
     "ScenarioServer",
     "attach_checkers",
+    "fuzz",
     "make_backend",
     "open_store",
     "program",

@@ -43,6 +43,7 @@ def run_workload(
     protocol_factory: Optional[Any] = None,
     spare_nodes: Optional[int] = None,
     highwater: Optional[int] = None,
+    latency: Optional[Any] = None,
 ) -> tuple[DisomSystem, RunResult]:
     """Build and run one cluster execution of ``workload``.
 
@@ -52,7 +53,10 @@ def run_workload(
     ``"sender-msg-log"``, ...; default the paper's DiSOM protocol) --
     mutually exclusive with passing a ``protocol_factory`` directly.
     ``crashes`` is a sequence of ``(pid, at_time)`` fail-stop injections.
-    Returns ``(system, result)``.
+    ``latency`` overrides the wire model: a
+    :class:`~repro.net.channel.LatencyModel` or a mapping with any of
+    ``base`` / ``per_byte`` / ``jitter`` (unnamed knobs keep their
+    defaults).  Returns ``(system, result)``.
     """
     from repro.experiments.base import run_workload as _run
     from repro.workloads import ALL_WORKLOADS
@@ -90,6 +94,7 @@ def run_workload(
         check=check,
         store_dir=store_dir,
         observers=observers,
+        latency=latency,
     )
 
 
@@ -160,6 +165,36 @@ def run_bench(
                         jobs=jobs)
     return make_report(records, mode="quick" if quick else "full", seed=seed,
                        baseline=baseline)
+
+
+def fuzz(
+    *,
+    budget_trials: int = 100,
+    seed: int = 7,
+    jobs: int = 1,
+    shrink: bool = True,
+    budget_seconds: Optional[float] = None,
+    corpus_dir: Optional[str] = None,
+) -> Any:
+    """Run the coverage-guided failure-schedule fuzzer.
+
+    Executes ``budget_trials`` random failure schedules (crash times,
+    checkpoint cadence, wire delay/jitter, varied workloads and
+    baselines) under the inline checker stack, guided by coverage of
+    the checkpoint protocol's state space; any violation is shrunk to
+    a minimal scenario document.  ``corpus_dir`` (default
+    ``tests/corpus``) supplies the known-bug allowlist -- findings
+    matching it are reported but not counted as new.  The whole run is
+    a pure function of ``seed``: repeats (at any ``jobs`` value) yield
+    byte-identical trial logs and coverage maps.  Returns the
+    :class:`~repro.fuzz.engine.FuzzReport`.
+    """
+    from repro.fuzz import DEFAULT_CORPUS_DIR, load_allowlist, run_fuzz
+
+    known = load_allowlist(corpus_dir or DEFAULT_CORPUS_DIR)
+    return run_fuzz(budget_trials=budget_trials, seed=seed, jobs=jobs,
+                    known_signatures=known, shrink=shrink,
+                    budget_seconds=budget_seconds)
 
 
 def attach_checkers(system: DisomSystem, strict: bool = False) -> Any:

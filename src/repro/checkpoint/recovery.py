@@ -218,6 +218,7 @@ class RecoveryManager:
         self.checkpoint = checkpoint
         self.timing = timing
         self.phase = "loading"
+        self._announce_phase("loading")
         self.ckp_set: Optional[CkpSet] = None
         self._replies: dict[ProcessId, RecoveryReplyData] = {}
         self._pending_requests: list[Message] = []
@@ -230,6 +231,21 @@ class RecoveryManager:
         self._deferred_piggyback: list[tuple[ProcessId, list, list]] = []
         self._deferred_dones: list[Message] = []
         process.metrics.recovery_started_at = detected_at
+
+    def _set_phase(self, phase: str) -> None:
+        """Advance the recovery phase and announce it to the observers.
+
+        The phase sequence ("loading" -> "collecting" -> "replaying" ->
+        "done" | "aborted") is the protocol-state signal the fuzzer's
+        coverage map feeds on (see :mod:`repro.fuzz.coverage`).
+        """
+        self.phase = phase
+        self._announce_phase(phase)
+
+    def _announce_phase(self, phase: str) -> None:
+        observers = getattr(self.process.system, "observers", None)
+        if observers is not None:
+            observers.on_recovery_phase(self.process.pid, phase)
 
     def defer_piggyback(self, src: ProcessId, dummies: list, ckp_sets: list) -> None:
         """Piggyback arriving while the checkpoint is loading is applied
@@ -277,7 +293,7 @@ class RecoveryManager:
         deferred, self._deferred_piggyback = self._deferred_piggyback, []
         for src, dummies, ckp_sets in deferred:
             process.checkpoint_protocol.on_piggyback(src, dummies, ckp_sets)
-        self.phase = "collecting"
+        self._set_phase("collecting")
         # Answer recovery requests that arrived while loading.
         pending, self._pending_requests = self._pending_requests, []
         for message in pending:
@@ -333,7 +349,7 @@ class RecoveryManager:
         expected = {p for p in self.process.peer_pids() if p != self.process.pid}
         if not expected.issubset(self._replies.keys()):
             return
-        self.phase = "replaying"
+        self._set_phase("replaying")
         self._build_and_replay()
 
     def _build_and_replay(self) -> None:
@@ -396,7 +412,7 @@ class RecoveryManager:
 
         if abort_reason is not None:
             process.system.abort(abort_reason, from_pid=process.pid, broadcast=True)
-            self.phase = "aborted"
+            self._set_phase("aborted")
             return
 
         concurrent = any(
@@ -429,7 +445,7 @@ class RecoveryManager:
         process = self.process
         assert self.replayer is not None
         self.replayer.finalize()
-        self.phase = "done"
+        self._set_phase("done")
         process.replayer = None
         process.recovery_manager = None
         process.checkpoint_protocol.suppress_checkpoints = False

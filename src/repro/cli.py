@@ -24,6 +24,8 @@
     python -m repro storage gc --store-dir /tmp/ckpts
     python -m repro serve                         # scenario server :8723
     python -m repro serve --port 9000 --jobs 4 --cache-dir /tmp/scache
+    python -m repro fuzz --budget-trials 150 --seed 7   # schedule fuzzing
+    python -m repro fuzz --jobs 4 --update-corpus --budget-seconds 300
 
 Flag spelling is uniform across subcommands: ``--seed`` (RNG seed),
 ``--check`` (inline verification), ``--store-dir`` (durable on-disk
@@ -44,6 +46,7 @@ from repro.analysis.report import Table
 from repro.analysis.timeline import render_timeline
 from repro.baselines import ALL_BASELINES
 from repro.experiments import ALL_EXPERIMENTS
+from repro.verify.seeded import FAULT_KINDS
 from repro.workloads import ALL_WORKLOADS
 
 #: Back-compat alias; the registry lives in :mod:`repro.baselines` now.
@@ -111,8 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(the default unless --lint-only)")
     check.add_argument("--lint-only", action="store_true",
                        help="run only the determinism lint")
-    check.add_argument("--seed-fault", choices=("race", "gc-unsafe",
-                                                "dummy-chain"), default=None,
+    check.add_argument("--seed-fault", choices=FAULT_KINDS, default=None,
                        help="plant a known fault and verify it is detected "
                             "(exits nonzero when the fault is flagged)")
     check.add_argument("--store-dir", default=None, metavar="DIR",
@@ -175,6 +177,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for benchmark repeats "
                             "(0 = one per CPU; wall-clock is normalized "
                             "by per-worker calibration)")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="coverage-guided failure-schedule fuzzing: random crash "
+             "schedules under the inline checkers, violations shrunk to "
+             "minimal repros")
+    fuzz.add_argument("--budget-trials", type=int, default=100, metavar="N",
+                      help="schedules to execute (default 100)")
+    fuzz.add_argument("--budget-seconds", type=float, default=None,
+                      metavar="S",
+                      help="wall cap checked between batches; a capped run "
+                           "is a prefix of the uncapped one (default: none)")
+    fuzz.add_argument("--seed", type=int, default=7,
+                      help="master seed; the whole run is a pure function "
+                           "of it (default 7)")
+    fuzz.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="worker processes for trial batches (0 = one "
+                           "per CPU; results are identical at any value)")
+    fuzz.add_argument("--corpus-dir", default=None, metavar="DIR",
+                      help="minimized-repro corpus / allowlist location "
+                           "(default tests/corpus)")
+    fuzz.add_argument("--update-corpus", action="store_true",
+                      help="write each new finding's minimized repro into "
+                           "the corpus")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="skip minimization of new findings")
+    fuzz.add_argument("--coverage-out", default=None, metavar="PATH",
+                      help="write the coverage map as canonical JSON")
+    fuzz.add_argument("--log-out", default=None, metavar="PATH",
+                      help="write the per-trial log as canonical JSONL")
+    fuzz.add_argument("--json", default=None, metavar="PATH",
+                      help="also write the findings summary as JSON")
 
     serve = sub.add_parser(
         "serve",
@@ -561,6 +595,66 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import (
+        DEFAULT_CORPUS_DIR,
+        load_allowlist,
+        make_entry,
+        run_fuzz,
+        write_entry,
+    )
+
+    corpus_dir = args.corpus_dir or DEFAULT_CORPUS_DIR
+    known = load_allowlist(corpus_dir)
+    report = run_fuzz(
+        budget_trials=args.budget_trials,
+        seed=args.seed,
+        jobs=args.jobs,
+        known_signatures=known,
+        shrink=not args.no_shrink,
+        budget_seconds=args.budget_seconds,
+    )
+    print(f"fuzz (seed={args.seed}): {report.summary()}"
+          + (" [wall-capped]" if report.wall_capped else ""))
+    for finding in report.findings:
+        tag = "known" if finding.known else "NEW"
+        print(f"  [{tag}] trial {finding.trial}: {finding.signature}")
+        if finding.minimized is not None:
+            print(f"         minimized in {finding.shrink_runs} runs: "
+                  f"{json.dumps(finding.minimized)}")
+    if args.coverage_out:
+        with open(args.coverage_out, "w", encoding="ascii") as handle:
+            handle.write(report.coverage.to_json())
+        print(f"coverage map written to {args.coverage_out}")
+    if args.log_out:
+        with open(args.log_out, "w", encoding="ascii") as handle:
+            handle.write(report.trial_log())
+        print(f"trial log written to {args.log_out}")
+    if args.update_corpus:
+        for finding in report.new_findings:
+            if finding.minimized is None:
+                continue
+            path = write_entry(corpus_dir, make_entry(
+                finding.minimized, finding.signature, finding.error_type,
+                finding.message,
+                provenance={"seed": args.seed, "trial": finding.trial,
+                            "shrink_runs": finding.shrink_runs}))
+            print(f"corpus entry written: {path}")
+    if args.json:
+        summary = {
+            "seed": args.seed,
+            "trials": report.trials,
+            "wall_capped": report.wall_capped,
+            "coverage_features": len(report.coverage),
+            "findings": [finding.as_dict() for finding in report.findings],
+            "new_findings": len(report.new_findings),
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2)
+            handle.write("\n")
+    return 1 if report.new_findings else 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.server.app import ScenarioServer
 
@@ -602,6 +696,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return cmd_experiments(args)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "fuzz":
+        return cmd_fuzz(args)
     if args.command == "serve":
         return cmd_serve(args)
     if args.command == "storage":

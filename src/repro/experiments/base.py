@@ -162,6 +162,7 @@ def run_workload(
     check: Optional[bool] = None,
     store_dir: Optional[str] = None,
     observers=None,
+    latency=None,
 ) -> tuple[DisomSystem, RunResult]:
     """Build, run and return one configured cluster execution.
 
@@ -171,14 +172,25 @@ def run_workload(
     ``store_dir`` likewise yield to the module overrides installed by
     :func:`set_experiment_defaults`.  ``observers`` is an optional
     :class:`repro.observers.Observers` registry wired to every process.
+    ``latency`` overrides the wire model: a
+    :class:`~repro.net.channel.LatencyModel` instance or a mapping with
+    any of ``base`` / ``per_byte`` / ``jitter``.
     """
+    from repro.net.channel import LatencyModel
+
     effective_check = CHECK_INLINE if check is None else check
     effective_seed = SEED_OVERRIDE if SEED_OVERRIDE is not None else seed
     effective_store = store_dir if store_dir is not None else STORE_DIR_DEFAULT
+    config_extra = {}
+    if latency is not None:
+        if not isinstance(latency, LatencyModel):
+            latency = LatencyModel(**dict(latency))
+        config_extra["latency"] = latency
     system = DisomSystem(
         ClusterConfig(processes=processes, seed=effective_seed,
                       spare_nodes=spare_nodes, check=effective_check,
-                      store_dir=effective_store, observers=observers),
+                      store_dir=effective_store, observers=observers,
+                      **config_extra),
         CheckpointPolicy(interval=interval, log_highwater=highwater,
                          gc_transport=gc_transport,
                          dummy_transport=dummy_transport),

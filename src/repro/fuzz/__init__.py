@@ -1,0 +1,65 @@
+"""Coverage-guided failure-schedule fuzzing (DESIGN.md section 2.11).
+
+The fuzzer searches the space of *failure schedules* -- crash times and
+spacings, checkpoint cadence and policy, wire delay and jitter, over
+varied workloads and baselines -- guided by coverage of the checkpoint
+protocol's own state space (recovery phases, GC floor advances, dummy
+chain depths, log-version transitions).  Every run executes under the
+inline checker stack, so a violation is caught at the moment it
+happens; the shrinker then reduces it to a minimal scenario document
+checked into ``tests/corpus/`` as a permanent regression test.
+
+Layout:
+
+* :mod:`repro.fuzz.schedule` -- schedule generation and mutation
+* :mod:`repro.fuzz.coverage` -- the protocol-state coverage signal
+* :mod:`repro.fuzz.engine` -- the fuzz loop (batched, jobs-invariant)
+* :mod:`repro.fuzz.shrink` -- ddmin + coarse-to-fine time minimization
+* :mod:`repro.fuzz.corpus` -- the checked-in minimized-repro corpus
+"""
+
+from repro.fuzz.corpus import (
+    CORPUS_SCHEMA,
+    DEFAULT_CORPUS_DIR,
+    load_allowlist,
+    load_corpus,
+    make_entry,
+    write_entry,
+)
+from repro.fuzz.coverage import CoverageMap, CoverageProbe, bucket
+from repro.fuzz.engine import (
+    Finding,
+    FuzzReport,
+    failure_signature,
+    run_fuzz,
+    run_trial,
+)
+from repro.fuzz.schedule import (
+    build_schedule,
+    mutate_schedule,
+    random_schedule,
+    schedule_elements,
+)
+from repro.fuzz.shrink import shrink_schedule
+
+__all__ = [
+    "CORPUS_SCHEMA",
+    "CoverageMap",
+    "CoverageProbe",
+    "DEFAULT_CORPUS_DIR",
+    "Finding",
+    "FuzzReport",
+    "bucket",
+    "build_schedule",
+    "failure_signature",
+    "load_allowlist",
+    "load_corpus",
+    "make_entry",
+    "mutate_schedule",
+    "random_schedule",
+    "run_fuzz",
+    "run_trial",
+    "schedule_elements",
+    "shrink_schedule",
+    "write_entry",
+]

@@ -1,0 +1,135 @@
+"""The regression corpus: minimized repros checked into the tree.
+
+Every confirmed finding the fuzzer minimizes is written to
+``tests/corpus/`` as one JSON document::
+
+    {
+      "schema": "repro-fuzz-corpus/v1",
+      "scenario": { ... },            # a valid scenario document
+      "failure": {
+        "signature": "...",           # bug-class id (digits folded)
+        "error_type": "ProtocolError",
+        "message": "..."              # verbatim message when minimized
+      },
+      "provenance": {"seed": 7, "trial": 12, "shrink_runs": 41}
+    }
+
+The ``scenario`` sub-document is the canonical spelling accepted by
+:func:`repro.server.scenario.validate_scenario`, so a corpus entry can
+be replayed by the test suite, the CLI (``repro fuzz --replay``) or
+POSTed verbatim to the scenario server.  The filename is the first 16
+hex digits of the scenario's configuration fingerprint -- content
+addressing keeps re-discovered bugs from duplicating files.
+
+The corpus doubles as the CI allowlist: a fuzz run only *fails* CI on
+a signature that matches neither a corpus entry nor
+``tests/corpus/allowlist.json`` (extra signatures without a minimized
+repro yet).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Set
+
+from repro.errors import ConfigError
+from repro.fingerprint import canonical_json, config_fingerprint
+from repro.server.scenario import validate_scenario
+
+#: Corpus entry schema identifier.
+CORPUS_SCHEMA = "repro-fuzz-corpus/v1"
+
+#: Default corpus location relative to the repository root.
+DEFAULT_CORPUS_DIR = os.path.join("tests", "corpus")
+
+_ALLOWLIST_NAME = "allowlist.json"
+
+
+def entry_filename(scenario: Dict[str, Any]) -> str:
+    """Content-addressed filename for a corpus entry's scenario."""
+    return config_fingerprint(scenario)[:16] + ".json"
+
+
+def make_entry(
+    scenario: Dict[str, Any],
+    signature: str,
+    error_type: str,
+    message: str,
+    provenance: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build one corpus entry document (scenario canonicalized)."""
+    canonical = validate_scenario(scenario).as_dict()
+    entry: Dict[str, Any] = {
+        "schema": CORPUS_SCHEMA,
+        "scenario": canonical,
+        "failure": {
+            "signature": signature,
+            "error_type": error_type,
+            "message": message,
+        },
+    }
+    if provenance:
+        entry["provenance"] = dict(provenance)
+    return entry
+
+
+def write_entry(corpus_dir: str, entry: Dict[str, Any]) -> str:
+    """Write one entry (canonical JSON) into ``corpus_dir``; return path."""
+    if entry.get("schema") != CORPUS_SCHEMA:
+        raise ConfigError(
+            f"corpus entry schema must be {CORPUS_SCHEMA!r}, "
+            f"got {entry.get('schema')!r}"
+        )
+    os.makedirs(corpus_dir, exist_ok=True)
+    path = os.path.join(corpus_dir, entry_filename(entry["scenario"]))
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(canonical_json(entry) + "\n")
+    return path
+
+
+def load_corpus(corpus_dir: str) -> List[Dict[str, Any]]:
+    """Load every corpus entry, sorted by filename (deterministic).
+
+    Each entry's scenario is re-validated so a hand-edited document
+    that drifted from the schema fails loudly here, not when replayed.
+    """
+    if not os.path.isdir(corpus_dir):
+        return []
+    entries: List[Dict[str, Any]] = []
+    for name in sorted(os.listdir(corpus_dir)):
+        if not name.endswith(".json") or name == _ALLOWLIST_NAME:
+            continue
+        path = os.path.join(corpus_dir, name)
+        with open(path, "r", encoding="ascii") as handle:
+            entry = json.load(handle)
+        if entry.get("schema") != CORPUS_SCHEMA:
+            raise ConfigError(
+                f"{path}: schema {entry.get('schema')!r} is not "
+                f"{CORPUS_SCHEMA!r}"
+            )
+        validate_scenario(entry["scenario"])
+        if "signature" not in entry.get("failure", {}):
+            raise ConfigError(f"{path}: missing failure.signature")
+        entry["_path"] = path
+        entries.append(entry)
+    return entries
+
+
+def load_allowlist(corpus_dir: str) -> Set[str]:
+    """Known bug-class signatures: corpus entries ∪ ``allowlist.json``.
+
+    ``allowlist.json`` (a JSON list of signature strings, optional)
+    covers known bugs that do not have a minimized corpus entry yet.
+    """
+    signatures = {entry["failure"]["signature"]
+                  for entry in load_corpus(corpus_dir)}
+    path = os.path.join(corpus_dir, _ALLOWLIST_NAME)
+    if os.path.exists(path):
+        with open(path, "r", encoding="ascii") as handle:
+            extra = json.load(handle)
+        if (not isinstance(extra, list)
+                or not all(isinstance(item, str) for item in extra)):
+            raise ConfigError(f"{path} must be a JSON list of signatures")
+        signatures.update(extra)
+    return signatures

@@ -1,0 +1,277 @@
+"""Failure-schedule generation and mutation.
+
+A *schedule* is an ordinary workload scenario document (the exact JSON
+shape :func:`repro.server.scenario.validate_scenario` accepts): a
+workload plus configuration plus the failure-relevant knobs the fuzzer
+explores -- crash injections ``[pid, time]``, checkpoint interval and
+log high-water policy, and wire latency overrides (base delay and
+jitter; jitter perturbs per-channel delivery times, which reorders
+messages *across* channels -- channels themselves stay FIFO).
+
+Everything here is a pure function of the :class:`random.Random`
+instance passed in; the engine derives one per trial from the master
+seed, so generation is deterministic and jobs-invariant.  Documents are
+always round-tripped through ``validate_scenario(...).as_dict()`` so a
+schedule has exactly one canonical spelling -- the fingerprint of that
+spelling names the corpus file.
+
+The *schedule elements* of a document (:func:`schedule_elements`) are
+the parts the shrinker is allowed to delete: the crash list plus the
+optional latency and highwater overrides.  Workload, params, seed,
+processes and interval are configuration -- simplified by dedicated
+shrink passes, not element deletion.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.server.scenario import validate_scenario
+
+#: Workloads the fuzzer draws from by default: the synthetic workload
+#: (densest sharing, fastest) dominates; the application kernels keep
+#: the generator honest about access-pattern diversity.
+DEFAULT_WORKLOADS = ("synthetic", "synthetic", "synthetic", "pipeline",
+                     "sor")
+
+#: Baselines the fuzzer draws from by default.  The paper's protocol is
+#: the target; ``coordinated`` rides along so checker regressions that
+#: hit every scheme are attributed to the oracle, not the protocol.
+DEFAULT_BASELINES = ("disom", "disom", "disom", "coordinated")
+
+#: Small per-workload parameter pools.  Values are chosen to keep one
+#: trial in the ~0.1s range while still varying sharing density and
+#: run length (longer runs reach deeper GC floors and dummy chains).
+_PARAM_POOLS: Dict[str, Dict[str, Sequence[Any]]] = {
+    "synthetic": {
+        "rounds": (8, 12, 15, 20),
+        "objects": (3, 5, 6, 8),
+        "read_ratio": (0.2, 0.5, 0.8),
+        "hot_bias": (0.3, 0.5, 0.8),
+    },
+    "pipeline": {
+        "items": (6, 10, 12),
+        "stage_cost": (1.0, 2.0),
+    },
+    "sor": {
+        "rows_per_block": (2, 3),
+        "iterations": (3, 4, 6),
+    },
+}
+
+#: Per-workload minimum cluster size (workloads with a fixed role
+#: structure reject smaller clusters at setup time).
+_MIN_PROCESSES: Dict[str, int] = {"pipeline": 3}
+
+#: Latest crash-injection time the generator will pick.  Runs that
+#: outlive every crash still have to finish recovery, so this also
+#: bounds trial wall time.
+MAX_CRASH_TIME = 160.0
+
+
+def canonical_schedule(document: Dict[str, Any]) -> Dict[str, Any]:
+    """The one canonical spelling of a schedule document."""
+    return validate_scenario(document).as_dict()
+
+
+def _crash_times(rng: random.Random, count: int) -> List[float]:
+    """Crash times with deliberately varied spacing.
+
+    One of three regimes per schedule: *simultaneous* (all crashes
+    within one detection window -- concurrent recoveries), *near*
+    (spaced a few detection delays apart -- recovery overlapping the
+    next failure), or *far* (independent recoveries).
+    """
+    first = round(rng.uniform(5.0, 80.0), 1)
+    times = [first]
+    regime = rng.choice(("simultaneous", "near", "far"))
+    for _ in range(count - 1):
+        if regime == "simultaneous":
+            gap = rng.uniform(0.0, 4.0)
+        elif regime == "near":
+            gap = rng.uniform(5.0, 25.0)
+        else:
+            gap = rng.uniform(30.0, 70.0)
+        times.append(round(min(times[-1] + gap, MAX_CRASH_TIME), 1))
+    return times
+
+
+def _random_crashes(rng: random.Random,
+                    processes: int) -> List[List[float]]:
+    count = rng.choice((0, 1, 1, 2, 2, 3))
+    count = min(count, processes - 1)  # leave at least one survivor
+    if count <= 0:
+        return []
+    pids = rng.sample(range(processes), count)
+    times = _crash_times(rng, count)
+    return [[pid, when] for pid, when in zip(pids, times)]
+
+
+def _random_params(rng: random.Random, workload: str) -> Dict[str, Any]:
+    pool = _PARAM_POOLS.get(workload, {})
+    params: Dict[str, Any] = {}
+    for name, choices in sorted(pool.items()):
+        if rng.random() < 0.5:
+            params[name] = rng.choice(choices)
+    return params
+
+
+def random_schedule(
+    rng: random.Random,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    baselines: Sequence[str] = DEFAULT_BASELINES,
+) -> Dict[str, Any]:
+    """Generate one random schedule document (canonical form)."""
+    workload = rng.choice(tuple(workloads))
+    minimum = _MIN_PROCESSES.get(workload, 2)
+    processes = max(rng.choice((2, 3, 4, 4, 5)), minimum)
+    document: Dict[str, Any] = {
+        "kind": "workload",
+        "workload": workload,
+        "baseline": rng.choice(tuple(baselines)),
+        "processes": processes,
+        "seed": rng.randrange(1 << 16),
+        "params": _random_params(rng, workload),
+        "crashes": _random_crashes(rng, processes),
+        "check": True,
+    }
+    # Checkpoint policy: mostly timer-driven at varied cadence; a slice
+    # of trials disables the timer (p~0.08) to stress log growth and
+    # the high-water path.
+    if rng.random() < 0.08:
+        document["interval"] = None
+    else:
+        document["interval"] = round(rng.uniform(8.0, 120.0), 1)
+    if rng.random() < 0.25:
+        document["highwater"] = rng.choice((2_000, 8_000, 32_000))
+    if rng.random() < 0.25:
+        document["latency"] = {
+            "base": round(rng.uniform(0.5, 3.0), 2),
+            "jitter": round(rng.uniform(0.0, 2.0), 2),
+        }
+    return canonical_schedule(document)
+
+
+def mutate_schedule(
+    rng: random.Random,
+    document: Dict[str, Any],
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    baselines: Sequence[str] = DEFAULT_BASELINES,
+) -> Dict[str, Any]:
+    """Mutate an interesting schedule into a nearby one (canonical form).
+
+    Applies one to three small edits: perturb/add/remove a crash, jiggle
+    the checkpoint cadence, toggle the latency/highwater overrides, or
+    reroll the seed.  Falls back to a fresh random schedule if the edits
+    produced an invalid document (e.g. crash pid out of range after a
+    processes change).
+    """
+    doc = {
+        key: (dict(value) if isinstance(value, dict)
+              else list(value) if isinstance(value, list) else value)
+        for key, value in document.items()
+    }
+    doc["crashes"] = [list(entry) for entry in doc.get("crashes", [])]
+    for _ in range(rng.choice((1, 2, 2, 3))):
+        _mutate_once(rng, doc, workloads, baselines)
+    try:
+        return canonical_schedule(doc)
+    except Exception:
+        return random_schedule(rng, workloads, baselines)
+
+
+def _mutate_once(rng: random.Random, doc: Dict[str, Any],
+                 workloads: Sequence[str],
+                 baselines: Sequence[str]) -> None:
+    crashes: List[List[float]] = doc["crashes"]
+    processes: int = doc["processes"]
+    choice = rng.choice((
+        "crash-time", "crash-add", "crash-remove", "interval", "seed",
+        "highwater", "latency", "params",
+    ))
+    if choice == "crash-time" and crashes:
+        entry = rng.choice(crashes)
+        entry[1] = round(
+            min(max(entry[1] + rng.uniform(-20.0, 20.0), 1.0),
+                MAX_CRASH_TIME), 1)
+    elif choice == "crash-add" and len(crashes) < processes - 1:
+        used = {int(entry[0]) for entry in crashes}
+        free = [pid for pid in range(processes) if pid not in used]
+        if free:
+            crashes.append([
+                rng.choice(free),
+                round(rng.uniform(5.0, MAX_CRASH_TIME), 1),
+            ])
+    elif choice == "crash-remove" and crashes:
+        crashes.pop(rng.randrange(len(crashes)))
+    elif choice == "interval":
+        if rng.random() < 0.1:
+            doc["interval"] = None
+        else:
+            doc["interval"] = round(rng.uniform(8.0, 120.0), 1)
+    elif choice == "seed":
+        doc["seed"] = rng.randrange(1 << 16)
+    elif choice == "highwater":
+        doc["highwater"] = (None if doc.get("highwater") is not None
+                            else rng.choice((2_000, 8_000, 32_000)))
+    elif choice == "latency":
+        if doc.get("latency") is not None:
+            doc["latency"] = None
+        else:
+            doc["latency"] = {
+                "base": round(rng.uniform(0.5, 3.0), 2),
+                "jitter": round(rng.uniform(0.0, 2.0), 2),
+            }
+    elif choice == "params":
+        doc["params"] = _random_params(rng, doc["workload"])
+
+
+# ----------------------------------------------------------------------
+# schedule elements (the currency of the shrinker)
+# ----------------------------------------------------------------------
+
+def schedule_elements(
+    document: Dict[str, Any],
+) -> List[Tuple[str, Any]]:
+    """The deletable elements of a schedule, in deterministic order."""
+    elements: List[Tuple[str, Any]] = []
+    for entry in document.get("crashes", []) or []:
+        elements.append(("crash", [int(entry[0]), float(entry[1])]))
+    if document.get("latency") is not None:
+        elements.append(("latency", dict(document["latency"])))
+    if document.get("highwater") is not None:
+        elements.append(("highwater", int(document["highwater"])))
+    return elements
+
+
+#: Sentinel: "keep the base document's value" (None is a real value
+#: for interval -- it disables the checkpoint timer).
+KEEP = object()
+
+
+def build_schedule(
+    document: Dict[str, Any],
+    elements: Sequence[Tuple[str, Any]],
+    interval: Any = KEEP,
+    processes: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Rebuild a canonical schedule from a base document and elements.
+
+    ``interval=KEEP`` (the default) keeps the base document's interval;
+    pass an explicit value (or ``None``) to override it.
+    """
+    doc = dict(document)
+    doc["crashes"] = [list(value) for kind, value in elements
+                      if kind == "crash"]
+    doc["latency"] = next(
+        (dict(value) for kind, value in elements if kind == "latency"),
+        None)
+    doc["highwater"] = next(
+        (int(value) for kind, value in elements if kind == "highwater"),
+        None)
+    if interval is not KEEP:
+        doc["interval"] = interval
+    if processes is not None:
+        doc["processes"] = processes
+    return canonical_schedule(doc)

@@ -1,0 +1,178 @@
+"""Schedule shrinking: delta debugging plus coarse-to-fine time search.
+
+Given a failing schedule and its failure signature, produce the
+smallest schedule we can find that still trips the *same* bug class
+(signature match -- shrinking must not wander onto a different bug).
+Three passes, each preserving the failure:
+
+1. **ddmin** (Zeller's delta debugging) over the schedule's deletable
+   elements -- crashes, the latency override, the highwater override --
+   until the element set is 1-minimal: removing any single remaining
+   element loses the failure.
+2. **knob simplification** -- reset the checkpoint interval and the
+   workload params to their defaults when the failure does not depend
+   on them.
+3. **coarse-to-fine time search** per surviving crash: snap the
+   injection time to the coarsest grid that still fails (50, 20, 10,
+   5, 2, 1 simulated-time units), then bisect it toward zero at unit
+   granularity.  Early, round injection times make the minimized
+   repro legible.
+
+The oracle is :func:`repro.fuzz.engine.run_trial` (memoized by
+document fingerprint) under a hard call budget; when the budget runs
+out the current best-so-far is returned.  Everything is deterministic:
+candidate order is fixed and the oracle is a pure function of the
+document.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.fingerprint import config_fingerprint
+from repro.fuzz.schedule import build_schedule, schedule_elements
+
+#: Default oracle-call budget for one shrink.
+MAX_ORACLE_RUNS = 160
+
+#: Time grids for the coarse-to-fine snapping pass, coarsest first.
+_TIME_GRIDS = (50.0, 20.0, 10.0, 5.0, 2.0, 1.0)
+
+_Element = Tuple[str, Any]
+_Oracle = Callable[[Dict[str, Any]], bool]
+
+
+class _BudgetedOracle:
+    """Memoized, call-budgeted wrapper around the trigger predicate."""
+
+    def __init__(self, signature: str, max_runs: int,
+                 oracle: Optional[_Oracle]) -> None:
+        self.signature = signature
+        self.max_runs = max_runs
+        self.runs = 0
+        self._cache: Dict[str, bool] = {}
+        self._predicate = oracle or self._default_predicate
+
+    def _default_predicate(self, document: Dict[str, Any]) -> bool:
+        from repro.fuzz.engine import run_trial
+
+        outcome = run_trial(document)
+        return (outcome["status"] == "violation"
+                and outcome.get("signature") == self.signature)
+
+    def __call__(self, document: Dict[str, Any]) -> bool:
+        key = config_fingerprint(document)
+        if key in self._cache:
+            return self._cache[key]
+        if self.runs >= self.max_runs:
+            return False  # budget exhausted: keep the best-so-far
+        self.runs += 1
+        verdict = bool(self._predicate(document))
+        self._cache[key] = verdict
+        return verdict
+
+
+def _ddmin(elements: List[_Element],
+           triggers: Callable[[List[_Element]], bool]) -> List[_Element]:
+    """Zeller's ddmin: a 1-minimal failing subset of ``elements``."""
+    if triggers([]):
+        return []
+    granularity = 2
+    while len(elements) >= 2:
+        size = max(1, len(elements) // granularity)
+        chunks = [elements[i:i + size]
+                  for i in range(0, len(elements), size)]
+        reduced = False
+        for drop in range(len(chunks)):
+            candidate = [element
+                         for index, chunk in enumerate(chunks)
+                         for element in chunk if index != drop]
+            if candidate != elements and triggers(candidate):
+                elements = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(elements):
+                break
+            granularity = min(granularity * 2, len(elements))
+    return elements
+
+
+def shrink_schedule(
+    document: Dict[str, Any],
+    signature: str,
+    oracle: Optional[_Oracle] = None,
+    max_runs: int = MAX_ORACLE_RUNS,
+) -> Tuple[Optional[Dict[str, Any]], int]:
+    """Minimize a failing schedule; return ``(minimized, oracle_runs)``.
+
+    ``minimized`` is ``None`` when the original document does not
+    reproduce the signature under the oracle (a flaky or
+    environment-dependent failure -- nothing trustworthy to minimize).
+    ``oracle`` overrides the trigger predicate (tests use synthetic
+    oracles); by default a candidate triggers iff
+    :func:`~repro.fuzz.engine.run_trial` reports a violation with the
+    same signature.
+    """
+    check = _BudgetedOracle(signature, max_runs, oracle)
+    if not check(document):
+        return None, check.runs
+
+    base = dict(document)
+    elements = schedule_elements(base)
+
+    def triggers(candidate: Sequence[_Element]) -> bool:
+        return check(build_schedule(base, candidate))
+
+    # Pass 1: ddmin over the deletable elements.
+    elements = _ddmin(list(elements), triggers)
+    best = build_schedule(base, elements)
+
+    # Pass 2: knob simplification (defaults are legible).
+    if best.get("interval") != 50.0:
+        candidate = build_schedule(best, elements, interval=50.0)
+        if check(candidate):
+            best = candidate
+    if best.get("params"):
+        candidate = dict(best)
+        candidate["params"] = {}
+        candidate = build_schedule(candidate, elements)
+        if check(candidate):
+            best = candidate
+
+    # Pass 3: coarse-to-fine crash-time search.
+    crash_positions = [index for index, (kind, _) in enumerate(elements)
+                       if kind == "crash"]
+    for position in crash_positions:
+        _, value = elements[position]
+        pid, when = int(value[0]), float(value[1])
+
+        def with_time(candidate_time: float) -> Dict[str, Any]:
+            trial_elements = list(elements)
+            trial_elements[position] = ("crash", [pid, candidate_time])
+            return build_schedule(best, trial_elements)
+
+        # Snap to the coarsest grid that still fails.
+        for grid in _TIME_GRIDS:
+            snapped = round(round(when / grid) * grid, 1)
+            if snapped <= 0.0:
+                snapped = grid
+            if snapped != when and check(with_time(snapped)):
+                when = snapped
+                break
+        # Bisect toward zero at unit granularity.
+        low, high = 0.0, when
+        while high - low > 1.0:
+            mid = round((low + high) / 2.0, 1)
+            if check(with_time(mid)):
+                high = mid
+            else:
+                low = mid
+        when = round(high, 1)
+        elements[position] = ("crash", [pid, when])
+        best = build_schedule(best, elements)
+
+    if not check(best):  # pragma: no cover - passes only keep triggers
+        return document, check.runs
+    return best, check.runs

@@ -33,6 +33,9 @@ Listener surface (all optional)::
     on_gc_pair_drop(entry, pair, ckp_set)    # threadSet pair dropped by GC
     on_gc_dummy_drop(dummy, ckp_set)         # dummy entry dropped by GC
     on_gc_dep_drop(tid, dep, ckp_set)        # depSet entry dropped by GC
+    on_recovery_phase(pid, phase)        # recovery entered "loading" /
+                                         # "collecting" / "replaying" /
+                                         # "aborted" / "done"
 """
 
 from __future__ import annotations
@@ -50,6 +53,7 @@ CALLBACK_NAMES = (
     "on_gc_pair_drop",
     "on_gc_dummy_drop",
     "on_gc_dep_drop",
+    "on_recovery_phase",
 )
 
 
@@ -177,3 +181,7 @@ class Observers:
     def on_gc_dep_drop(self, tid: Any, dep: Any, ckp_set: Any) -> None:
         for method in self._targets["on_gc_dep_drop"]:
             method(tid, dep, ckp_set)
+
+    def on_recovery_phase(self, pid: int, phase: str) -> None:
+        for method in self._targets["on_recovery_phase"]:
+            method(pid, phase)

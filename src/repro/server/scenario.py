@@ -44,7 +44,13 @@ CONSISTENCY_MODELS = ("entry",)
 _KINDS = ("workload", "experiment")
 
 _WORKLOAD_KEYS = {"kind", "workload", "params", "processes", "seed",
-                  "interval", "baseline", "consistency", "crashes", "check"}
+                  "interval", "baseline", "consistency", "crashes", "check",
+                  "latency", "highwater"}
+
+#: Keys accepted in the optional ``latency`` sub-document (the wire
+#: model knobs the failure-schedule fuzzer explores; see
+#: :class:`repro.net.channel.LatencyModel`).
+_LATENCY_KEYS = ("base", "per_byte", "jitter")
 _EXPERIMENT_KEYS = {"kind", "experiment", "quick", "seed", "consistency",
                     "check"}
 
@@ -83,6 +89,11 @@ class ScenarioSpec:
     check: bool
     experiment: Optional[str]
     quick: bool
+    #: Wire latency-model overrides as sorted (knob, value) pairs; None
+    #: keeps the default model.  Workload scenarios only.
+    latency: Optional[Tuple[Tuple[str, float], ...]] = None
+    #: Log high-water checkpoint trigger in bytes; None disables.
+    highwater: Optional[int] = None
 
     def as_dict(self) -> Dict[str, Any]:
         """The canonical plain-data form (the fingerprint input)."""
@@ -106,6 +117,9 @@ class ScenarioSpec:
             "consistency": self.consistency,
             "crashes": [[pid, when] for pid, when in self.crashes],
             "check": self.check,
+            "latency": (None if self.latency is None
+                        else {key: value for key, value in self.latency}),
+            "highwater": self.highwater,
         }
 
     def fingerprint(self) -> str:
@@ -213,6 +227,32 @@ def validate_scenario(document: Mapping[str, Any]) -> ScenarioSpec:
         )
     params = tuple(sorted(raw_params.items()))
 
+    highwater = _require(document, "highwater", (int,), None)
+    if highwater is not None and highwater <= 0:
+        raise ConfigError(f"highwater must be positive, got {highwater}")
+
+    raw_latency = _require(document, "latency", (dict,), None)
+    latency: Optional[Tuple[Tuple[str, float], ...]] = None
+    if raw_latency is not None:
+        bad = sorted(set(raw_latency) - set(_LATENCY_KEYS))
+        if bad:
+            raise ConfigError(
+                f"unknown latency knob(s) {bad}; allowed: "
+                f"{sorted(_LATENCY_KEYS)}"
+            )
+        for knob, value in raw_latency.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ConfigError(
+                    f"latency knob {knob!r} must be a number, got {value!r}"
+                )
+            if value < 0:
+                raise ConfigError(
+                    f"latency knob {knob!r} must be non-negative, got {value}"
+                )
+        latency = tuple(sorted(
+            (knob, float(value)) for knob, value in raw_latency.items()
+        ))
+
     raw_crashes = document.get("crashes", [])
     if not isinstance(raw_crashes, (list, tuple)):
         raise ConfigError("crashes must be a list of [pid, time] pairs")
@@ -236,6 +276,7 @@ def validate_scenario(document: Mapping[str, Any]) -> ScenarioSpec:
         interval=float(interval) if interval is not None else None,
         baseline=baseline, consistency=consistency,
         crashes=tuple(crashes), check=check, experiment=None, quick=True,
+        latency=latency, highwater=highwater,
     )
 
 
@@ -283,6 +324,8 @@ def _run_workload_scenario(spec: ScenarioSpec) -> Dict[str, Any]:
             workload, processes=spec.processes, seed=spec.seed,
             interval=spec.interval, crashes=spec.crashes,
             check=spec.check, baseline=spec.baseline,
+            highwater=spec.highwater,
+            latency=dict(spec.latency) if spec.latency else None,
         )
     except InvariantViolation as exc:
         # A deterministic outcome of this scenario, not a server fault:

@@ -74,12 +74,18 @@ KNOWN_SET_ATTRS = {"copy_set", "local_readers"}
 #: ``server/client.py``) measures request latencies and uptime --
 #: host-side observability that never reaches a simulation, whose
 #: response bodies stay content-addressed and wall-clock-free.
+#: ``repro.fuzz.engine`` reads the clock only for the ``--budget-seconds``
+#: wall cap, checked *between* trial batches: it decides when the loop
+#: stops, never what any trial does, and a capped run is a strict prefix
+#: of the uncapped one.  Trial randomness itself is seeded
+#: (``random.Random(derive_seed(...))`` per trial), which the
+#: unseeded-random rule already permits everywhere.
 RULE_EXEMPT_SUFFIXES: Dict[str, Tuple[str, ...]] = {
     "wall-clock": ("verify/inline.py", "perf/counters.py", "perf/bench.py",
                    "perf/report.py", "parallel/pool.py",
                    "parallel/service.py", "server/app.py",
                    "server/handlers.py", "server/metrics.py",
-                   "server/client.py"),
+                   "server/client.py", "fuzz/engine.py"),
     "unseeded-random": ("sim/rng.py",),
 }
 

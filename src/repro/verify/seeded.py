@@ -10,7 +10,7 @@ against the checker silently rotting into a yes-sayer).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.errors import InvariantViolation
 from repro.sim.tracing import TraceLog
@@ -18,7 +18,7 @@ from repro.types import ExecutionPoint, Tid
 from repro.verify.invariants import InvariantChecker
 from repro.verify.races import RaceDetector, RaceFinding
 
-FAULT_KINDS = ("race", "gc-unsafe", "dummy-chain")
+FAULT_KINDS = ("race", "gc-unsafe", "dummy-chain", "schedule")
 
 
 def _mem(trace: TraceLog, when: float, kind: str, tid: Tid, lt: int,
@@ -107,6 +107,37 @@ def seeded_dummy_chain() -> List[InvariantViolation]:
     return checker.violations
 
 
+def seeded_bad_schedule() -> Dict[str, Any]:
+    """A known-bad failure schedule, padded with inert decoy elements.
+
+    The core is the double-grant repro (see
+    ``tests/integration/test_multi_failure.py``): the synthetic
+    workload on 4 processes, seed 1, interval 30, with crashes at
+    P0@25 and P2@65 -- recovery replays one acquire the survivor log
+    already granted, tripping the ``duplicate LogList element``
+    :class:`~repro.errors.ProtocolError`.
+
+    The padding -- two decoy crashes injected *after* the error moment
+    (they never execute) and a log high-water trigger far above any
+    reachable log size -- does not change behavior; it exists so the
+    fuzzer's shrinker has something real to remove.  Delta debugging
+    must strip all three decoys and return a 2-element schedule.
+    """
+    from repro.fuzz.schedule import canonical_schedule
+
+    return canonical_schedule({
+        "kind": "workload",
+        "workload": "synthetic",
+        "params": {"rounds": 12, "objects": 5},
+        "processes": 4,
+        "seed": 1,
+        "interval": 30.0,
+        "crashes": [[0, 25.0], [2, 65.0], [1, 200.0], [3, 300.0]],
+        "highwater": 10_000_000,
+        "check": True,
+    })
+
+
 def run_seeded_fault(kind: str) -> Tuple[List[RaceFinding],
                                          List[InvariantViolation]]:
     """Run one planted-fault scenario; returns (races, violations)."""
@@ -116,5 +147,14 @@ def run_seeded_fault(kind: str) -> Tuple[List[RaceFinding],
         return [], seeded_gc_unsafe()
     if kind == "dummy-chain":
         return [], seeded_dummy_chain()
+    if kind == "schedule":
+        from repro.fuzz.engine import run_trial
+
+        outcome = run_trial(seeded_bad_schedule())
+        if outcome["status"] != "violation":
+            return [], []
+        return [], [InvariantViolation(
+            "seeded-schedule",
+            f"{outcome['error_type']}: {outcome['message']}")]
     raise ValueError(f"unknown seeded fault {kind!r}; "
                      f"choose from {FAULT_KINDS}")

@@ -10,9 +10,16 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro import CheckpointPolicy, ClusterConfig, DisomSystem
 from repro.workloads import SyntheticWorkload
 
+# derandomize: tier-1 must be stable, so these heavyweight properties
+# run the same examples every time.  Open-ended random exploration of
+# the crash-schedule space is `repro fuzz`'s job now — it has coverage
+# guidance, shrinking, and an allowlist for known-unfixed bug classes
+# (e.g. the forwarding-budget blowup under simultaneous multi-crash,
+# see tests/corpus/allowlist.json), none of which this test has.
 SLOW = dict(
     max_examples=12,
     deadline=None,
+    derandomize=True,
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
 

@@ -1,0 +1,299 @@
+"""Unit tests for the failure-schedule fuzzer.
+
+The cheap, simulation-free properties live here: schedule generation
+determinism, coverage bucketing and map bookkeeping, signature
+folding, ddmin behavior against a synthetic oracle, and the corpus
+file format.  One small real fuzz run (10 trials) pins the
+byte-identity contract end to end; the heavier acceptance runs (the
+seeded known-bad shrink, corpus replay) live in
+``tests/integration/test_fuzz_corpus.py``.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fuzz import (
+    CORPUS_SCHEMA,
+    CoverageMap,
+    bucket,
+    build_schedule,
+    failure_signature,
+    load_allowlist,
+    load_corpus,
+    make_entry,
+    mutate_schedule,
+    random_schedule,
+    run_fuzz,
+    schedule_elements,
+    shrink_schedule,
+    write_entry,
+)
+from repro.parallel.seeds import derive_seed
+from repro.server.scenario import validate_scenario
+
+
+class TestBucket:
+    def test_exact_below_three(self):
+        assert [bucket(n) for n in (0, 1, 2)] == ["0", "1", "2"]
+
+    def test_power_of_two_ranges(self):
+        assert bucket(3) == "3-4"
+        assert bucket(4) == "3-4"
+        assert bucket(5) == "5-8"
+        assert bucket(8) == "5-8"
+        assert bucket(9) == "9-16"
+        assert bucket(512) == "257-512"
+
+    def test_cap(self):
+        assert bucket(513) == ">512"
+        assert bucket(10**9) == ">512"
+
+    def test_negative_clamps_to_zero(self):
+        assert bucket(-5) == "0"
+
+
+class TestSignature:
+    def test_digits_fold(self):
+        a = failure_signature("ProtocolError",
+                              "duplicate LogList element at logical time 8")
+        b = failure_signature("ProtocolError",
+                              "duplicate LogList element at logical time 42")
+        assert a == b
+        assert "#" in a and "8" not in a
+
+    def test_error_type_distinguishes(self):
+        assert (failure_signature("ProtocolError", "boom")
+                != failure_signature("DeadlockError", "boom"))
+
+    def test_whitespace_collapses_and_truncates(self):
+        sig = failure_signature("E", "a   b\n\t c" + "x" * 500)
+        assert "a b c" in sig
+        assert len(sig) <= len("E:") + 160
+
+
+class TestCoverageMap:
+    def test_new_features_reported_once(self):
+        cmap = CoverageMap()
+        assert cmap.observe(["a", "b"], trial=0) == ["a", "b"]
+        assert cmap.observe(["b", "c"], trial=3) == ["c"]
+        assert len(cmap) == 3
+        assert "a" in cmap and "z" not in cmap
+
+    def test_as_dict_records_first_trial_and_counts(self):
+        cmap = CoverageMap()
+        cmap.observe(["f"], trial=2)
+        cmap.observe(["f"], trial=5)
+        entry = cmap.as_dict()["features"]["f"]
+        assert entry == {"first_trial": 2, "trials": 2}
+
+    def test_to_json_is_stable(self):
+        one, two = CoverageMap(), CoverageMap()
+        one.observe(["b", "a"], 0)
+        two.observe(["a", "b"], 0)
+        assert one.to_json() == two.to_json()
+
+
+class TestScheduleGeneration:
+    def test_same_derived_seed_same_schedule(self):
+        docs = []
+        for _ in range(2):
+            rng = random.Random(derive_seed(7, "fuzz-trial", 12))
+            docs.append(random_schedule(rng))
+        assert docs[0] == docs[1]
+
+    def test_schedules_are_canonical_and_valid(self):
+        for index in range(30):
+            rng = random.Random(derive_seed(3, "fuzz-trial", index))
+            doc = random_schedule(rng)
+            assert validate_scenario(doc).as_dict() == doc
+
+    def test_workload_minimum_processes_respected(self):
+        for index in range(40):
+            rng = random.Random(derive_seed(5, "fuzz-trial", index))
+            doc = random_schedule(rng, workloads=("pipeline",))
+            assert doc["processes"] >= 3
+
+    def test_crashes_leave_a_survivor_with_distinct_pids(self):
+        for index in range(40):
+            rng = random.Random(derive_seed(9, "fuzz-trial", index))
+            doc = random_schedule(rng)
+            pids = [pid for pid, _ in doc["crashes"]]
+            assert len(pids) == len(set(pids))
+            assert len(pids) < doc["processes"]
+
+    def test_mutation_yields_valid_documents(self):
+        rng = random.Random(derive_seed(11, "fuzz-trial", 0))
+        doc = random_schedule(rng)
+        for _ in range(30):
+            doc = mutate_schedule(rng, doc)
+            assert validate_scenario(doc).as_dict() == doc
+
+
+def _padded_schedule():
+    """A canonical schedule with decoy elements for the synthetic-oracle
+    shrink tests: two 'real' crashes plus decoys of every element kind."""
+    from repro.fuzz.schedule import canonical_schedule
+
+    return canonical_schedule({
+        "kind": "workload", "workload": "synthetic", "processes": 5,
+        "seed": 3, "interval": 33.0,
+        "crashes": [[0, 25.0], [2, 65.0], [1, 140.0], [4, 150.0]],
+        "latency": {"base": 1.5, "jitter": 0.5},
+        "highwater": 50_000, "check": True,
+    })
+
+
+class TestShrinkSynthetic:
+    """ddmin + knob/time passes against oracles that never run a sim."""
+
+    def test_reduces_to_the_oracle_core(self):
+        doc = _padded_schedule()
+
+        def oracle(candidate):
+            pids = {pid for pid, _ in candidate["crashes"]}
+            return {0, 2} <= pids
+
+        minimized, runs = shrink_schedule(doc, "sig", oracle=oracle)
+        assert minimized is not None
+        elements = schedule_elements(minimized)
+        # Exactly the two crashes the oracle demands survive; the decoy
+        # crashes and the latency/highwater overrides are stripped.
+        assert len(elements) == 2
+        assert {kind for kind, _ in elements} == {"crash"}
+        assert {pid for pid, _ in minimized["crashes"]} == {0, 2}
+        assert oracle(minimized)
+        assert runs > 0
+
+    def test_output_elements_are_a_subset_of_the_input(self):
+        doc = _padded_schedule()
+
+        def oracle(candidate):
+            return any(pid == 2 for pid, _ in candidate["crashes"])
+
+        minimized, _ = shrink_schedule(doc, "sig", oracle=oracle)
+        original_pids = {pid for pid, _ in doc["crashes"]}
+        kept_pids = {pid for pid, _ in minimized["crashes"]}
+        assert kept_pids <= original_pids
+        assert len(schedule_elements(minimized)) <= len(
+            schedule_elements(doc))
+        # Crash times only ever move earlier (toward a faster repro).
+        originals = dict(doc["crashes"])
+        for pid, when in minimized["crashes"]:
+            assert when <= originals[pid]
+
+    def test_non_reproducing_failure_returns_none(self):
+        minimized, runs = shrink_schedule(
+            _padded_schedule(), "sig", oracle=lambda candidate: False)
+        assert minimized is None
+        assert runs == 1
+
+    def test_oracle_budget_is_respected(self):
+        calls = []
+
+        def oracle(candidate):
+            calls.append(1)
+            return True
+
+        minimized, runs = shrink_schedule(
+            _padded_schedule(), "sig", oracle=oracle, max_runs=5)
+        assert minimized is not None
+        assert runs <= 5
+        # Memoization means distinct documents only; the raw call count
+        # equals the budgeted run count.
+        assert len(calls) == runs
+
+    def test_interval_simplifies_when_irrelevant(self):
+        minimized, _ = shrink_schedule(
+            _padded_schedule(), "sig",
+            oracle=lambda candidate: True)
+        assert minimized["interval"] == 50.0
+
+
+class TestBuildSchedule:
+    def test_elements_round_trip(self):
+        doc = _padded_schedule()
+        rebuilt = build_schedule(doc, schedule_elements(doc))
+        assert rebuilt == doc
+
+    def test_dropping_all_elements_clears_overrides(self):
+        doc = _padded_schedule()
+        bare = build_schedule(doc, [])
+        assert bare["crashes"] == []
+        assert bare["latency"] is None
+        assert bare["highwater"] is None
+
+
+class TestFuzzDeterminism:
+    """Same master seed => byte-identical trial logs and coverage maps."""
+
+    def test_repeat_runs_are_byte_identical(self):
+        one = run_fuzz(budget_trials=10, seed=7, shrink=False)
+        two = run_fuzz(budget_trials=10, seed=7, shrink=False)
+        assert one.trial_log() == two.trial_log()
+        assert one.coverage.to_json() == two.coverage.to_json()
+        assert one.trials == two.trials == 10
+
+    def test_different_seeds_diverge(self):
+        one = run_fuzz(budget_trials=6, seed=7, shrink=False)
+        two = run_fuzz(budget_trials=6, seed=8, shrink=False)
+        assert one.trial_log() != two.trial_log()
+
+    def test_trial_log_is_canonical_jsonl(self):
+        report = run_fuzz(budget_trials=4, seed=7, shrink=False)
+        lines = report.trial_log().splitlines()
+        assert len(lines) == 4
+        for index, line in enumerate(lines):
+            row = json.loads(line)
+            assert row["trial"] == index
+            assert row["status"] in ("ok", "aborted", "violation", "invalid")
+
+
+class TestCorpusFormat:
+    def _entry(self):
+        scenario = {"kind": "workload", "workload": "synthetic",
+                    "processes": 3, "seed": 5, "crashes": [[1, 20.0]],
+                    "check": True}
+        return make_entry(scenario, "Sig:some failure", "ProtocolError",
+                          "some failure 42",
+                          provenance={"seed": 7, "trial": 3})
+
+    def test_round_trip(self, tmp_path):
+        corpus = str(tmp_path)
+        path = write_entry(corpus, self._entry())
+        entries = load_corpus(corpus)
+        assert len(entries) == 1
+        assert entries[0]["_path"] == path
+        assert entries[0]["failure"]["signature"] == "Sig:some failure"
+        # The scenario was canonicalized on the way in.
+        spec = validate_scenario(entries[0]["scenario"])
+        assert spec.as_dict() == entries[0]["scenario"]
+
+    def test_filenames_are_content_addressed(self, tmp_path):
+        corpus = str(tmp_path)
+        first = write_entry(corpus, self._entry())
+        second = write_entry(corpus, self._entry())
+        assert first == second
+        assert len(load_corpus(corpus)) == 1
+
+    def test_allowlist_merges_entries_and_extra_file(self, tmp_path):
+        corpus = str(tmp_path)
+        write_entry(corpus, self._entry())
+        (tmp_path / "allowlist.json").write_text('["Other:sig"]')
+        assert load_allowlist(corpus) == {"Sig:some failure", "Other:sig"}
+
+    def test_missing_dir_is_empty(self, tmp_path):
+        missing = str(tmp_path / "nope")
+        assert load_corpus(missing) == []
+        assert load_allowlist(missing) == set()
+
+    def test_bad_schema_rejected(self, tmp_path):
+        entry = self._entry()
+        entry["schema"] = "something-else/v9"
+        with pytest.raises(ConfigError):
+            write_entry(str(tmp_path), entry)
+
+    def test_entry_schema_constant(self):
+        assert self._entry()["schema"] == CORPUS_SCHEMA
