@@ -31,6 +31,7 @@ Quickstart::
 """
 
 from repro.api import (
+    analyze,
     attach_checkers,
     fuzz,
     open_store,
@@ -122,6 +123,7 @@ __all__ = [
     "Tid",
     "ScenarioClient",
     "ScenarioServer",
+    "analyze",
     "attach_checkers",
     "fuzz",
     "make_backend",

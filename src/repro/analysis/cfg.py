@@ -1,0 +1,297 @@
+"""AST -> CFG builder and the intraprocedural dataflow engine.
+
+The control-flow graph is deliberately coarse -- basic blocks hold the
+original ``ast`` statements plus synthetic ``with``-enter/exit markers,
+and exceptional control flow is approximated (a ``try`` body may jump to
+any of its handlers; a ``raise`` exits the function) -- but it is exact
+about the things the analyzers care about: branching, loops, early
+returns, and ``with``-statement bracketing.
+
+:func:`analyze_forward` is a classic worklist fixpoint over the CFG:
+the client supplies the initial state, a transfer function over one
+block's atoms and a merge for join points, and gets back the state at
+entry of every block plus the states reaching the function exit.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+#: Atom tags appearing in a block's ``atoms`` list.
+STMT = "stmt"
+WITH_ENTER = "with-enter"
+WITH_EXIT = "with-exit"
+
+#: One atom: ``(tag, node)`` where ``node`` is the statement for
+#: ``STMT`` atoms and the context-manager expression for the ``with``
+#: markers.
+Atom = Tuple[str, ast.AST]
+
+
+@dataclass
+class Block:
+    """One basic block: a straight-line run of atoms."""
+
+    index: int
+    atoms: List[Atom] = field(default_factory=list)
+    succs: List[int] = field(default_factory=list)
+
+    def add_succ(self, index: int) -> None:
+        if index not in self.succs:
+            self.succs.append(index)
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function body."""
+
+    name: str
+    blocks: List[Block]
+    entry: int
+    exit: int
+    lineno: int = 0
+
+    def preds(self) -> Dict[int, List[int]]:
+        incoming: Dict[int, List[int]] = {b.index: [] for b in self.blocks}
+        for block in self.blocks:
+            for succ in block.succs:
+                incoming[succ].append(block.index)
+        return incoming
+
+
+class _Builder:
+    def __init__(self, name: str, lineno: int) -> None:
+        self.name = name
+        self.lineno = lineno
+        self.blocks: List[Block] = []
+        self.exit = self._new().index          # block 0 == function exit
+        self.entry = self._new().index
+        #: stack of (break-target, continue-target) block indices
+        self.loops: List[Tuple[int, int]] = []
+        #: handler entry blocks of enclosing try statements (coarse
+        #: exceptional edges: any statement may jump there)
+        self.handlers: List[List[int]] = []
+
+    def _new(self) -> Block:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def build(self, body: List[ast.stmt]) -> CFG:
+        last = self._body(body, self.entry)
+        if last is not None:
+            self.blocks[last].add_succ(self.exit)
+        return CFG(name=self.name, blocks=self.blocks, entry=self.entry,
+                   exit=self.exit, lineno=self.lineno)
+
+    # ------------------------------------------------------------------
+    def _body(self, body: List[ast.stmt], current: Optional[int],
+              ) -> Optional[int]:
+        """Thread ``body`` from block ``current``; return the live tail
+        block (None when every path terminated)."""
+        for stmt in body:
+            if current is None:
+                return None
+            current = self._stmt(stmt, current)
+        return current
+
+    def _stmt(self, stmt: ast.stmt, current: int) -> Optional[int]:
+        # Any statement may raise into an enclosing handler.
+        for handler_blocks in self.handlers:
+            for handler in handler_blocks:
+                self.blocks[current].add_succ(handler)
+
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self.blocks[current].atoms.append((STMT, stmt))
+            self.blocks[current].add_succ(self.exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            if self.loops:
+                self.blocks[current].add_succ(self.loops[-1][0])
+            return None
+        if isinstance(stmt, ast.Continue):
+            if self.loops:
+                self.blocks[current].add_succ(self.loops[-1][1])
+            return None
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, current)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, current)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, current)
+        self.blocks[current].atoms.append((STMT, stmt))
+        return current
+
+    def _if(self, stmt: ast.If, current: int) -> Optional[int]:
+        self.blocks[current].atoms.append((STMT, stmt.test))
+        then_entry = self._new().index
+        self.blocks[current].add_succ(then_entry)
+        then_tail = self._body(stmt.body, then_entry)
+        if stmt.orelse:
+            else_entry = self._new().index
+            self.blocks[current].add_succ(else_entry)
+            else_tail = self._body(stmt.orelse, else_entry)
+        else:
+            else_tail = current
+        if then_tail is None and else_tail is None:
+            return None
+        join = self._new().index
+        if then_tail is not None:
+            self.blocks[then_tail].add_succ(join)
+        if else_tail is not None:
+            self.blocks[else_tail].add_succ(join)
+        return join
+
+    def _loop(self, stmt: Any, current: int) -> int:
+        head = self._new().index
+        self.blocks[current].add_succ(head)
+        self.blocks[head].atoms.append((
+            STMT, stmt.test if isinstance(stmt, ast.While) else stmt.iter))
+        after = self._new().index
+        self.blocks[head].add_succ(after)      # zero-iteration / loop done
+        body_entry = self._new().index
+        self.blocks[head].add_succ(body_entry)
+        self.loops.append((after, head))
+        body_tail = self._body(stmt.body, body_entry)
+        self.loops.pop()
+        if body_tail is not None:
+            self.blocks[body_tail].add_succ(head)
+        if stmt.orelse:
+            return self._body(stmt.orelse, after) or after
+        return after
+
+    def _with(self, stmt: Any, current: int) -> Optional[int]:
+        for item in stmt.items:
+            self.blocks[current].atoms.append((WITH_ENTER, item.context_expr))
+        tail = self._body(stmt.body, current)
+        if tail is None:
+            return None
+        for item in reversed(stmt.items):
+            self.blocks[tail].atoms.append((WITH_EXIT, item.context_expr))
+        return tail
+
+    def _try(self, stmt: ast.Try, current: int) -> Optional[int]:
+        handler_entries = [self._new().index for _ in stmt.handlers]
+        for entry in handler_entries:
+            self.blocks[current].add_succ(entry)
+        self.handlers.append(handler_entries)
+        body_tail = self._body(stmt.body, current)
+        self.handlers.pop()
+        if body_tail is not None and stmt.orelse:
+            body_tail = self._body(stmt.orelse, body_tail)
+        tails = [body_tail]
+        for entry, handler in zip(handler_entries, stmt.handlers):
+            tails.append(self._body(handler.body, entry))
+        live = [tail for tail in tails if tail is not None]
+        if not live:
+            return None
+        join = self._new().index
+        for tail in live:
+            self.blocks[tail].add_succ(join)
+        if stmt.finalbody:
+            return self._body(stmt.finalbody, join)
+        return join
+
+    def _match(self, stmt: ast.Match, current: int) -> Optional[int]:
+        self.blocks[current].atoms.append((STMT, stmt.subject))
+        join = self._new().index
+        has_wildcard = False
+        for case in stmt.cases:
+            entry = self._new().index
+            self.blocks[current].add_succ(entry)
+            tail = self._body(case.body, entry)
+            if tail is not None:
+                self.blocks[tail].add_succ(join)
+            if (isinstance(case.pattern, ast.MatchAs)
+                    and case.pattern.pattern is None and case.guard is None):
+                has_wildcard = True
+        if not has_wildcard:
+            self.blocks[current].add_succ(join)  # no case matched
+        return join
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """Build the CFG of one ``FunctionDef`` / ``AsyncFunctionDef``."""
+    name = getattr(func, "name", "<lambda>")
+    builder = _Builder(name, getattr(func, "lineno", 0))
+    return builder.build(list(getattr(func, "body", [])))
+
+
+def iter_calls(node: ast.AST) -> Iterator[ast.Call]:
+    """Every call in ``node``, skipping nested function/lambda bodies
+    (they run later, under their own CFG)."""
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if current is not node and isinstance(
+                current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(current, ast.Call):
+            yield current
+        stack.extend(reversed(list(ast.iter_child_nodes(current))))
+
+
+def iter_functions(tree: ast.Module) -> Iterator[Tuple[Optional[str], ast.AST]]:
+    """Every function in a module as ``(class_name_or_None, func_node)``,
+    including methods (one level of class nesting)."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield None, node
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield node.name, item
+
+
+# ----------------------------------------------------------------------
+# dataflow engine
+# ----------------------------------------------------------------------
+def analyze_forward(
+    cfg: CFG,
+    init: Any,
+    transfer: Callable[[Any, Block], Any],
+    merge: Callable[[List[Any]], Any],
+) -> Tuple[Dict[int, Any], List[Any]]:
+    """Forward worklist dataflow over ``cfg``.
+
+    ``transfer(state, block)`` maps the state at block entry to the
+    state at block exit; ``merge(states)`` joins the exit states of all
+    predecessors.  Returns ``(entry_states, exit_states_reaching_exit)``
+    -- the fixpoint state at each block's entry, and the list of
+    predecessor exit states flowing into the function's exit block.
+    ``transfer`` must be pure (it is re-run until fixpoint).
+    """
+    preds = cfg.preds()
+    entry_state: Dict[int, Any] = {cfg.entry: init}
+    exit_state: Dict[int, Any] = {}
+    worklist = [cfg.entry]
+    iterations = 0
+    limit = 64 * max(1, len(cfg.blocks)) ** 2
+    while worklist:
+        iterations += 1
+        if iterations > limit:  # pragma: no cover - non-converging lattice
+            break
+        index = worklist.pop()
+        block = cfg.blocks[index]
+        state = entry_state.get(index)
+        if state is None:
+            continue
+        out = transfer(state, block)
+        if index in exit_state and exit_state[index] == out:
+            continue
+        exit_state[index] = out
+        for succ in block.succs:
+            incoming = [exit_state[p] for p in preds[succ] if p in exit_state]
+            merged = merge(incoming) if incoming else out
+            if succ not in entry_state or entry_state[succ] != merged:
+                entry_state[succ] = merged
+                worklist.append(succ)
+    reaching_exit = [exit_state[p] for p in preds[cfg.exit]
+                     if p in exit_state]
+    return entry_state, reaching_exit

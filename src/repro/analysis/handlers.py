@@ -1,0 +1,446 @@
+"""Handler/transition exhaustiveness analysis.
+
+The protocol layers dispatch on two closed vocabularies: the
+:class:`~repro.net.message.MessageKind` enum and the recovery phase
+strings (:data:`repro.checkpoint.recovery.RECOVERY_PHASES`).  Both are
+easy to extend and easy to extend *incompletely* -- a new message kind
+with no dispatch branch raises ``ProtocolError`` only when the first
+such message arrives in some schedule, and a typoed phase literal
+simply never compares equal.  This analyzer closes the loop statically:
+
+* ``handler-coverage`` -- every enum member must be *dispatched
+  on* somewhere (an ``if``/``elif``/``match`` comparison, or membership
+  in a registry collection of kinds such as a baseline's
+  ``handles_kind`` table).  A member that is constructed but never
+  dispatched, or never referenced at all, is a finding.
+* ``handler-dispatch`` -- within one dispatch chain: a kind claimed by
+  two branches (dead branch), a chain with no ``else``/wildcard that
+  does not cover the whole enum, and references to nonexistent members.
+* ``phase-coverage`` -- every phase string literal compared against or
+  assigned to a ``phase`` variable must be a member of
+  ``RECOVERY_PHASES``; phase dispatch chains without a fallback must
+  cover every phase.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import iter_functions
+from repro.analysis.findings import Finding, Module, ModuleTable
+
+#: Module that defines the MessageKind enum.
+ENUM_MODULE = "repro/net/message.py"
+ENUM_NAME = "MessageKind"
+
+#: Module that defines the recovery phase vocabulary.
+PHASE_MODULE = "repro/checkpoint/recovery.py"
+PHASE_CONST = "RECOVERY_PHASES"
+
+#: Methods that take a phase literal as their first argument.
+_PHASE_SETTERS = frozenset({"_set_phase", "_announce_phase",
+                            "on_recovery_phase"})
+
+
+@dataclass
+class _Branch:
+    kinds: Tuple[str, ...]
+    lineno: int
+
+
+@dataclass
+class _Chain:
+    """One if/elif (or match) dispatch chain over a closed vocabulary."""
+
+    subject: str
+    module: Module
+    lineno: int
+    branches: List[_Branch] = field(default_factory=list)
+    has_fallback: bool = False
+
+    def covered(self) -> Set[str]:
+        return {kind for branch in self.branches for kind in branch.kinds}
+
+
+def _enum_members(table: ModuleTable) -> Tuple[Optional[Module],
+                                               List[str]]:
+    for module in table:
+        if not module.path.endswith("net/message.py"):
+            continue
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == ENUM_NAME:
+                members = []
+                for stmt in node.body:
+                    if (isinstance(stmt, ast.Assign)
+                            and len(stmt.targets) == 1
+                            and isinstance(stmt.targets[0], ast.Name)
+                            and stmt.targets[0].id.isupper()):
+                        members.append(stmt.targets[0].id)
+                return module, members
+    return None, []
+
+
+def _phase_members(table: ModuleTable) -> Tuple[Optional[Module],
+                                                List[str]]:
+    for module in table:
+        if not module.path.endswith("checkpoint/recovery.py"):
+            continue
+        for node in module.tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target: Optional[ast.expr] = node.targets[0]
+            elif isinstance(node, ast.AnnAssign):
+                target = node.target
+            else:
+                continue
+            if (isinstance(target, ast.Name)
+                    and target.id == PHASE_CONST
+                    and isinstance(node.value, (ast.Tuple, ast.List))):
+                phases = [elt.value for elt in node.value.elts
+                          if isinstance(elt, ast.Constant)
+                          and isinstance(elt.value, str)]
+                return module, phases
+    return None, []
+
+
+def _kind_refs(node: ast.AST) -> List[str]:
+    """MessageKind member names referenced anywhere under ``node``."""
+    refs = []
+    for child in ast.walk(node):
+        if (isinstance(child, ast.Attribute)
+                and isinstance(child.value, ast.Name)
+                and child.value.id == ENUM_NAME
+                and child.attr.isupper()):
+            refs.append(child.attr)
+    return refs
+
+
+def _comparison_kinds(test: ast.expr, subject_of: str = ENUM_NAME,
+                      ) -> Optional[Tuple[str, Tuple[str, ...]]]:
+    """``(subject text, kinds)`` when ``test`` compares one subject
+    against MessageKind members (``is``/``==``/``in``, possibly
+    ``or``-joined)."""
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.Or):
+        subject = None
+        kinds: List[str] = []
+        for value in test.values:
+            part = _comparison_kinds(value, subject_of)
+            if part is None:
+                return None
+            if subject is None:
+                subject = part[0]
+            elif subject != part[0]:
+                return None
+            kinds.extend(part[1])
+        if subject is None:
+            return None
+        return subject, tuple(kinds)
+    if not (isinstance(test, ast.Compare) and len(test.ops) == 1):
+        return None
+    op = test.ops[0]
+    if not isinstance(op, (ast.Is, ast.Eq, ast.In)):
+        return None
+    right = test.comparators[0]
+    kinds = _kind_refs(right)
+    if not kinds or len(kinds) != len(
+            [n for n in ast.walk(right) if isinstance(n, ast.Attribute)]):
+        return None
+    try:
+        subject = ast.unparse(test.left)
+    except Exception:  # pragma: no cover - unparse of odd expression
+        return None
+    return subject, tuple(kinds)
+
+
+def _phase_comparison(test: ast.expr) -> Optional[Tuple[str,
+                                                        Tuple[str, ...]]]:
+    """``(subject text, literals)`` when ``test`` compares a
+    phase-named subject against string literals."""
+    if not (isinstance(test, ast.Compare) and len(test.ops) == 1):
+        return None
+    if not isinstance(test.ops[0], (ast.Eq, ast.NotEq, ast.In)):
+        return None
+    left, right = test.left, test.comparators[0]
+    try:
+        subject = ast.unparse(left)
+    except Exception:  # pragma: no cover
+        return None
+    if "phase" not in subject:
+        return None
+    literals: List[str] = []
+    candidates = right.elts if isinstance(right, (ast.Tuple, ast.List,
+                                                  ast.Set)) else [right]
+    for item in candidates:
+        if isinstance(item, ast.Constant) and isinstance(item.value, str):
+            literals.append(item.value)
+        else:
+            return None
+    return subject, tuple(literals)
+
+
+def _walk_chains(module: Module,
+                 extract: "Callable[[ast.expr], Optional[Tuple[str, Tuple[str, ...]]]]",
+                 min_branch_kinds: int) -> List[_Chain]:
+    """All if/elif chains in ``module`` whose tests ``extract`` to the
+    same subject."""
+    chains: List[_Chain] = []
+    consumed: Set[int] = set()
+    for _, func in iter_functions(module.tree):
+        for node in ast.walk(func):
+            if not isinstance(node, ast.If) or id(node) in consumed:
+                continue
+            first = extract(node.test)
+            if first is None:
+                continue
+            chain = _Chain(subject=first[0], module=module,
+                           lineno=node.lineno)
+            chain.branches.append(_Branch(kinds=first[1],
+                                          lineno=node.lineno))
+            cursor: ast.If = node
+            while True:
+                orelse = cursor.orelse
+                if len(orelse) == 1 and isinstance(orelse[0], ast.If):
+                    nxt = orelse[0]
+                    part = extract(nxt.test)
+                    consumed.add(id(nxt))
+                    if part is not None and part[0] == chain.subject:
+                        chain.branches.append(_Branch(kinds=part[1],
+                                                      lineno=nxt.lineno))
+                    else:
+                        # elif on something else (delegation branch like
+                        # ``elif proto.handles_kind(kind)``) still acts
+                        # as a fallback for coverage purposes.
+                        chain.has_fallback = True
+                        break
+                    cursor = nxt
+                else:
+                    if orelse:
+                        chain.has_fallback = True
+                    break
+            if sum(len(b.kinds) for b in chain.branches) >= min_branch_kinds:
+                chains.append(chain)
+    return chains
+
+
+def _registry_kinds(module: Module) -> List[str]:
+    """Members appearing in collection literals of >= 2 kinds -- the
+    ``handles_kind`` registry idiom."""
+    found: List[str] = []
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            elements: List[ast.expr] = list(node.elts)
+        elif isinstance(node, ast.Dict):
+            elements = [key for key in node.keys if key is not None]
+        else:
+            continue
+        kinds = [attr for elt in elements
+                 for attr in _kind_refs(elt)
+                 if isinstance(elt, ast.Attribute)]
+        if len(kinds) >= 2:
+            found.extend(kinds)
+    return found
+
+
+def analyze_handlers(table: ModuleTable) -> List[Finding]:
+    findings: List[Finding] = []
+    enum_module, members = _enum_members(table)
+    if enum_module is not None:
+        findings.extend(_kind_findings(table, enum_module, members))
+    phase_module, phases = _phase_members(table)
+    if phase_module is not None:
+        findings.extend(_phase_findings(table, phase_module, phases))
+    return findings
+
+
+def _kind_findings(table: ModuleTable, enum_module: Module,
+                   members: List[str]) -> List[Finding]:
+    findings: List[Finding] = []
+    member_set = set(members)
+    handled: Dict[str, List[str]] = {}
+    referenced: Dict[str, List[str]] = {}
+
+    for module in table:
+        if module.path == enum_module.path:
+            continue
+        # Unknown-member references (typo -> AttributeError at runtime).
+        for node in ast.walk(module.tree):
+            if (isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == ENUM_NAME
+                    and node.attr.isupper()
+                    and node.attr not in member_set):
+                findings.append(Finding(
+                    rule="handler-dispatch", path=module.path,
+                    line=node.lineno,
+                    message=(f"reference to nonexistent "
+                             f"{ENUM_NAME}.{node.attr}"),
+                ))
+        for ref in _kind_refs(module.tree):
+            if ref in member_set:
+                referenced.setdefault(ref, []).append(module.path)
+        for ref in _registry_kinds(module):
+            if ref in member_set:
+                handled.setdefault(ref, []).append(module.path)
+
+        for chain in _walk_chains(module, _comparison_kinds,
+                                  min_branch_kinds=3):
+            claimed: Dict[str, int] = {}
+            for branch in chain.branches:
+                for kind in branch.kinds:
+                    if kind in claimed:
+                        findings.append(Finding(
+                            rule="handler-dispatch", path=module.path,
+                            line=branch.lineno,
+                            message=(f"dead branch: {ENUM_NAME}.{kind} "
+                                     f"already handled by the branch at "
+                                     f"line {claimed[kind]} of this "
+                                     f"dispatch chain"),
+                            witness=(f"chain over {chain.subject!r} at "
+                                     f"{module.path}:{chain.lineno}",),
+                        ))
+                    else:
+                        claimed[kind] = branch.lineno
+                    if kind in member_set:
+                        handled.setdefault(kind, []).append(module.path)
+            if not chain.has_fallback:
+                missing = sorted(member_set - chain.covered())
+                if missing:
+                    findings.append(Finding(
+                        rule="handler-dispatch", path=module.path,
+                        line=chain.lineno,
+                        message=(f"dispatch chain over {chain.subject!r} "
+                                 f"has no else/fallback and does not "
+                                 f"cover: {', '.join(missing)}"),
+                    ))
+
+        for match_chain in _match_chains(module):
+            for kind in match_chain.covered():
+                if kind in member_set:
+                    handled.setdefault(kind, []).append(module.path)
+            if not match_chain.has_fallback:
+                missing = sorted(member_set - match_chain.covered())
+                if missing:
+                    findings.append(Finding(
+                        rule="handler-dispatch", path=module.path,
+                        line=match_chain.lineno,
+                        message=(f"match over {match_chain.subject!r} has "
+                                 f"no wildcard and does not cover: "
+                                 f"{', '.join(missing)}"),
+                    ))
+
+    for member in members:
+        line = _member_line(enum_module, member)
+        if member not in referenced:
+            findings.append(Finding(
+                rule="handler-coverage", path=enum_module.path, line=line,
+                message=(f"{ENUM_NAME}.{member} is never referenced "
+                         f"outside its definition: dead message kind"),
+            ))
+        elif member not in handled:
+            sites = sorted(set(referenced[member]))
+            findings.append(Finding(
+                rule="handler-coverage", path=enum_module.path, line=line,
+                message=(f"{ENUM_NAME}.{member} is constructed but no "
+                         f"dispatch chain or handler registry covers it"),
+                witness=tuple(f"referenced in {path}" for path in sites),
+            ))
+    return findings
+
+
+def _match_chains(module: Module) -> List[_Chain]:
+    chains: List[_Chain] = []
+    for _, func in iter_functions(module.tree):
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Match):
+                continue
+            try:
+                subject = ast.unparse(node.subject)
+            except Exception:  # pragma: no cover
+                continue
+            chain = _Chain(subject=subject, module=module,
+                           lineno=node.lineno)
+            any_kind = False
+            for case in node.cases:
+                kinds = tuple(_kind_refs(case.pattern))
+                if kinds:
+                    any_kind = True
+                    chain.branches.append(_Branch(kinds=kinds,
+                                                  lineno=case.pattern.lineno))
+                if (isinstance(case.pattern, ast.MatchAs)
+                        and case.pattern.pattern is None
+                        and case.guard is None):
+                    chain.has_fallback = True
+            if any_kind:
+                chains.append(chain)
+    return chains
+
+
+def _member_line(module: Module, member: str) -> int:
+    for node in ast.walk(module.tree):
+        if (isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == member):
+            return node.lineno
+    return 1
+
+
+def _phase_findings(table: ModuleTable, phase_module: Module,
+                    phases: List[str]) -> List[Finding]:
+    findings: List[Finding] = []
+    phase_set = set(phases)
+    for module in table:
+        for node in ast.walk(module.tree):
+            literals: List[Tuple[str, int]] = []
+            if isinstance(node, ast.Compare):
+                part = _phase_comparison(node)
+                if part is not None:
+                    literals = [(value, node.lineno) for value in part[1]]
+            elif isinstance(node, ast.Call):
+                name = (node.func.attr
+                        if isinstance(node.func, ast.Attribute)
+                        else node.func.id
+                        if isinstance(node.func, ast.Name) else "")
+                if name in _PHASE_SETTERS and node.args:
+                    arg = node.args[-1]
+                    if (isinstance(arg, ast.Constant)
+                            and isinstance(arg.value, str)):
+                        literals = [(arg.value, node.lineno)]
+            elif isinstance(node, ast.Assign):
+                target = node.targets[0] if len(node.targets) == 1 else None
+                named_phase = (
+                    (isinstance(target, ast.Attribute)
+                     and target.attr == "phase")
+                    or (isinstance(target, ast.Name)
+                        and target.id == "phase"))
+                if (named_phase and isinstance(node.value, ast.Constant)
+                        and isinstance(node.value.value, str)):
+                    literals = [(node.value.value, node.lineno)]
+            for value, lineno in literals:
+                if value not in phase_set:
+                    findings.append(Finding(
+                        rule="phase-coverage", path=module.path,
+                        line=lineno,
+                        message=(f"recovery phase literal {value!r} is "
+                                 f"not in {PHASE_CONST} "
+                                 f"({', '.join(phases)})"),
+                    ))
+
+        for chain in _walk_chains(module, _phase_comparison,
+                                  min_branch_kinds=2):
+            covered = {value for value in chain.covered()
+                       if value in phase_set}
+            if not covered:
+                continue
+            if not chain.has_fallback:
+                missing = sorted(phase_set - chain.covered())
+                if missing:
+                    findings.append(Finding(
+                        rule="phase-coverage", path=module.path,
+                        line=chain.lineno,
+                        message=(f"phase dispatch over {chain.subject!r} "
+                                 f"has no else and does not cover: "
+                                 f"{', '.join(missing)}"),
+                    ))
+    return findings

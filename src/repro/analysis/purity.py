@@ -1,0 +1,310 @@
+"""Simulation-purity analysis: the deterministic core must stay pure.
+
+Every run is supposed to be a pure function of the configured seed.
+The determinism lint (:mod:`repro.verify.lint`) checks that claim one
+statement at a time; this analyzer subsumes it with an *interprocedural
+effect system*: each function's direct effects (wall-clock reads,
+unseeded randomness, filesystem access, threading/process/socket use)
+are propagated over the module-level call graph, so a simulation module
+that reaches the host clock through any chain of calls is flagged at
+the call site that leaves the pure zone, with the full chain as the
+witness.
+
+* **Pure zones** (:data:`PURE_ZONES`) -- the deterministic-simulation
+  layers: ``sim/``, ``memory/``, ``checkpoint/``, ``net/``,
+  ``workloads/``.
+* **Trusted boundaries** (:data:`TRUSTED_PATHS`) -- modules whose whole
+  *job* is the effect: ``sim/rng.py`` owns seeding, ``repro/storage/``
+  owns durable checkpoint I/O (behind fault injection and fsync
+  policy).  Calls into them do not propagate effects.
+* Per-statement findings inside the zones (including the lint's
+  unordered-set-iteration rule, which is a determinism hazard but not a
+  propagatable effect) ride along, so ``repro analyze`` reports every
+  class the old per-statement lint did.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.callgraph import CallGraph, build_call_graph
+from repro.analysis.findings import Finding, Module, ModuleTable
+from repro.analysis.locks import path_in_scope
+from repro.verify.lint import RANDOM_ALLOWED, WALL_CLOCK_CALLS, lint_source
+
+#: Module scopes that must stay effect-free.
+PURE_ZONES: Tuple[str, ...] = (
+    "repro/sim/",
+    "repro/memory/",
+    "repro/checkpoint/",
+    "repro/net/",
+    "repro/workloads/",
+)
+
+#: Modules whose effects are their contract; propagation stops here.
+TRUSTED_PATHS: Tuple[str, ...] = (
+    "repro/storage/",
+    "repro/sim/rng.py",
+)
+
+#: Effect classes.
+WALL_CLOCK = "wall-clock"
+UNSEEDED_RANDOM = "unseeded-random"
+FILESYSTEM = "filesystem"
+THREADING = "threading"
+
+#: Modules any direct call into which is a filesystem effect.
+_FS_MODULES = frozenset({"os", "shutil", "tempfile", "glob"})
+
+#: Modules any direct call into which is a threading/process effect.
+_THREAD_MODULES = frozenset({"threading", "multiprocessing", "subprocess",
+                             "socket", "_thread"})
+
+#: Path-like method names that touch the filesystem regardless of the
+#: receiver expression.
+_FS_METHODS = frozenset({"read_text", "write_text", "read_bytes",
+                         "write_bytes", "unlink", "touch", "mkdir",
+                         "rglob"})
+
+
+@dataclass
+class _Effect:
+    """One effect of one function: the primitive site, or the call that
+    imports it from a callee."""
+
+    description: str      #: e.g. "time.perf_counter()"
+    path: str             #: where this step happens
+    line: int
+    via: Optional[str] = None   #: callee qualname (None = primitive site)
+
+
+class _Imports:
+    """Effect-relevant import aliases of one module."""
+
+    def __init__(self, module: Module) -> None:
+        self.module_aliases: Dict[str, str] = {}
+        self.name_effects: Dict[str, Tuple[str, str]] = {}
+        for node in module.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    self.module_aliases[alias.asname or root] = root
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                root = node.module.split(".")[0]
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    if (node.module in ("time", "datetime")
+                            and (root, alias.name) in WALL_CLOCK_CALLS):
+                        self.name_effects[local] = (
+                            WALL_CLOCK, f"{node.module}.{alias.name}()")
+                    elif (node.module == "random"
+                          and alias.name not in RANDOM_ALLOWED):
+                        self.name_effects[local] = (
+                            UNSEEDED_RANDOM, f"random.{alias.name}()")
+                    elif root in _FS_MODULES:
+                        self.name_effects[local] = (
+                            FILESYSTEM, f"{node.module}.{alias.name}()")
+                    elif root in _THREAD_MODULES:
+                        self.name_effects[local] = (
+                            THREADING, f"{node.module}.{alias.name}()")
+
+
+def _direct_effects(node: ast.AST,
+                    imports: _Imports) -> List[Tuple[str, int, str]]:
+    """(effect class, lineno, description) for every primitive in
+    ``node`` (nested functions included -- they run on the definer's
+    behalf)."""
+    found: List[Tuple[str, int, str]] = []
+    for call in ast.walk(node):
+        if not isinstance(call, ast.Call):
+            continue
+        func = call.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value,
+                                                          ast.Name):
+            base = imports.module_aliases.get(func.value.id, func.value.id)
+            pair = (base, func.attr)
+            if pair in WALL_CLOCK_CALLS or (
+                    func.value.id, func.attr) in WALL_CLOCK_CALLS:
+                found.append((WALL_CLOCK, call.lineno,
+                              f"{func.value.id}.{func.attr}()"))
+            elif base == "random" and func.attr not in RANDOM_ALLOWED:
+                found.append((UNSEEDED_RANDOM, call.lineno,
+                              f"random.{func.attr}()"))
+            elif base in _FS_MODULES:
+                found.append((FILESYSTEM, call.lineno,
+                              f"{func.value.id}.{func.attr}()"))
+            elif base in _THREAD_MODULES:
+                found.append((THREADING, call.lineno,
+                              f"{func.value.id}.{func.attr}()"))
+            elif func.attr in _FS_METHODS:
+                found.append((FILESYSTEM, call.lineno,
+                              f".{func.attr}() (path I/O)"))
+        elif isinstance(func, ast.Name):
+            if func.id == "open":
+                found.append((FILESYSTEM, call.lineno, "open()"))
+            elif func.id in imports.name_effects:
+                effect, description = imports.name_effects[func.id]
+                found.append((effect, call.lineno, description))
+        elif isinstance(func, ast.Attribute) and func.attr in _FS_METHODS:
+            found.append((FILESYSTEM, call.lineno,
+                          f".{func.attr}() (path I/O)"))
+    return found
+
+
+def in_pure_zone(path: str, zones: Sequence[str] = PURE_ZONES) -> bool:
+    return path_in_scope(path, zones)
+
+
+def is_trusted(path: str, trusted: Sequence[str] = TRUSTED_PATHS) -> bool:
+    return path_in_scope(path, trusted)
+
+
+def analyze_purity(table: ModuleTable,
+                   graph: Optional[CallGraph] = None,
+                   zones: Sequence[str] = PURE_ZONES,
+                   trusted: Sequence[str] = TRUSTED_PATHS) -> List[Finding]:
+    """Direct per-statement findings in the pure zones, plus
+    interprocedural boundary findings for call chains that leave them."""
+    if graph is None:
+        graph = build_call_graph(table)
+    imports = {module.name: _Imports(module) for module in table}
+
+    #: qualname -> {effect class -> _Effect}
+    effects: Dict[str, Dict[str, _Effect]] = {}
+    worklist: List[Tuple[str, str]] = []
+    for qualname, info in graph.functions.items():
+        if is_trusted(info.module.path, trusted):
+            continue
+        for effect, lineno, description in _direct_effects(
+                info.node, imports[info.module.name]):
+            slots = effects.setdefault(qualname, {})
+            if effect not in slots:
+                slots[effect] = _Effect(description=description,
+                                        path=info.module.path, line=lineno)
+                worklist.append((qualname, effect))
+
+    findings: List[Finding] = []
+
+    # Direct findings: primitives inside a pure-zone function, plus
+    # module-level statements (which have no call-graph node).
+    for qualname, info in sorted(graph.functions.items()):
+        if not in_pure_zone(info.module.path, zones):
+            continue
+        if is_trusted(info.module.path, trusted):
+            continue
+        for effect, record in sorted(effects.get(qualname, {}).items()):
+            if record.via is not None:
+                continue
+            findings.append(Finding(
+                rule="purity", path=record.path, line=record.line,
+                message=(f"{qualname.rsplit('.', 1)[-1]}: {effect} effect "
+                         f"in a deterministic-simulation module: "
+                         f"{record.description}"),
+                witness=(f"primitive at {record.path}:{record.line}",),
+            ))
+    for module in table:
+        if not in_pure_zone(module.path, zones) or is_trusted(module.path,
+                                                              trusted):
+            continue
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            for effect, lineno, description in _direct_effects(
+                    stmt, imports[module.name]):
+                findings.append(Finding(
+                    rule="purity", path=module.path, line=lineno,
+                    message=(f"<module>: {effect} effect at import time "
+                             f"of a deterministic-simulation module: "
+                             f"{description}"),
+                ))
+
+    # Propagate effects up the call graph (BFS => shortest chains).
+    callers: Dict[str, List[Tuple[str, int]]] = {}
+    for caller, sites in graph.calls.items():
+        for site in sites:
+            callers.setdefault(site.callee, []).append((caller,
+                                                        site.lineno))
+    cursor = 0
+    while cursor < len(worklist):
+        callee, effect = worklist[cursor]
+        cursor += 1
+        for caller, lineno in callers.get(callee, ()):
+            info = graph.functions[caller]
+            if is_trusted(info.module.path, trusted):
+                continue
+            slots = effects.setdefault(caller, {})
+            if effect in slots:
+                continue
+            slots[effect] = _Effect(
+                description=effects[callee][effect].description,
+                path=info.module.path, line=lineno, via=callee)
+            worklist.append((caller, effect))
+
+    # Boundary findings: a pure-zone function calling an impure function
+    # defined outside the zone.
+    for qualname, info in sorted(graph.functions.items()):
+        if not in_pure_zone(info.module.path, zones):
+            continue
+        reported = set()
+        for site in graph.calls.get(qualname, ()):  # type: ignore[call-overload]
+            callee_info = graph.functions.get(site.callee)
+            if callee_info is None:
+                continue
+            if in_pure_zone(callee_info.module.path, zones):
+                continue
+            if is_trusted(callee_info.module.path, trusted):
+                continue
+            for effect in sorted(effects.get(site.callee, {})):
+                key = (site.callee, effect)
+                if key in reported:
+                    continue
+                reported.add(key)
+                chain = _render_chain(site.callee, effect, effects, graph)
+                findings.append(Finding(
+                    rule="purity", path=info.module.path, line=site.lineno,
+                    message=(f"{qualname.rsplit('.', 1)[-1]}: call leaves "
+                             f"the deterministic-simulation zone and "
+                             f"reaches a {effect} effect "
+                             f"({effects[site.callee][effect].description})"
+                             ),
+                    witness=(f"{qualname} at {info.module.path}:"
+                             f"{site.lineno}",) + chain,
+                ))
+
+    # Unordered-set-iteration stays a per-statement determinism rule.
+    for module in table:
+        if not in_pure_zone(module.path, zones):
+            continue
+        source = "\n".join(module.lines)
+        for lint_finding in lint_source(module.path, source):
+            if lint_finding.rule != "unordered-iteration":
+                continue
+            findings.append(Finding(
+                rule="purity", path=module.path, line=lint_finding.line,
+                message=f"unordered-iteration: {lint_finding.message}",
+            ))
+    return findings
+
+
+def _render_chain(start: str, effect: str,
+                  effects: Dict[str, Dict[str, _Effect]],
+                  graph: CallGraph) -> Tuple[str, ...]:
+    steps: List[str] = []
+    current: Optional[str] = start
+    guard = 0
+    while current is not None and guard < 32:
+        guard += 1
+        record = effects[current][effect]
+        info = graph.functions[current]
+        if record.via is None:
+            steps.append(f"{current} at {info.module.path}:"
+                         f"{info.lineno} -> {record.description} at "
+                         f"{record.path}:{record.line}")
+            break
+        steps.append(f"{current} calls {record.via} at "
+                     f"{record.path}:{record.line}")
+        current = record.via
+    return tuple(steps)

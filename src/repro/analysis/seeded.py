@@ -1,0 +1,165 @@
+"""Seeded known-bad snippets: one injected defect per analyzer.
+
+``repro analyze --seed-bad <kind>`` runs one analyzer over a tiny
+in-memory module table containing a bug of exactly the class the
+analyzer exists to catch, and exits nonzero when the bug is *detected*.
+CI inverts that exit code (mirroring ``repro check --seed-fault``): a
+release of the analyzer that silently stops seeing its own defect class
+fails the build, not the next person to introduce the defect.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import Dict, List, Tuple
+
+from repro.analysis.escapes import analyze_escapes
+from repro.analysis.findings import Finding, load_source_table
+from repro.analysis.handlers import analyze_handlers
+from repro.analysis.locks import analyze_locks
+from repro.analysis.purity import analyze_purity
+
+#: seed kind -> (sources, analyzer name, rules that must fire)
+SEED_KINDS: Tuple[str, ...] = ("locks", "purity", "handlers", "escapes")
+
+_LOCKS_BAD: Dict[str, str] = {
+    "repro/server/seeded_bad.py": textwrap.dedent(
+        """
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._other = threading.Lock()
+                self.value = 0
+
+            def bump(self):
+                with self._lock:
+                    self.value += 1
+
+            def bump2(self):
+                with self._lock:
+                    self.value += 2
+
+            def bump3(self):
+                with self._lock:
+                    self.value += 3
+
+            def read(self):
+                with self._lock:
+                    return self.value
+
+            def racy_reset(self):
+                self.value = 0      # unguarded write
+
+            def forward(self):
+                with self._lock:
+                    with self._other:
+                        self.value += 1
+
+            def backward(self):
+                with self._other:
+                    with self._lock:
+                        self.value += 1
+
+            def leak(self):
+                self._lock.acquire()
+                if self.value > 10:
+                    return          # acquire does not dominate release
+                self._lock.release()
+        """),
+}
+
+_PURITY_BAD: Dict[str, str] = {
+    "repro/perfx/clockutil.py": textwrap.dedent(
+        """
+        import time
+
+        def elapsed():
+            return time.monotonic()
+        """),
+    "repro/sim/seeded_kernel.py": textwrap.dedent(
+        """
+        from repro.perfx import clockutil
+
+        def step():
+            return clockutil.elapsed()
+        """),
+}
+
+_HANDLERS_BAD: Dict[str, str] = {
+    "repro/net/message.py": textwrap.dedent(
+        """
+        import enum
+
+        class MessageKind(enum.Enum):
+            HELLO = "hello"
+            GOODBYE = "goodbye"
+            PING = "ping"
+            PONG = "pong"
+        """),
+    "repro/cluster/seeded_dispatch.py": textwrap.dedent(
+        """
+        from repro.net.message import MessageKind
+
+        def dispatch(kind, payload):
+            if kind is MessageKind.HELLO:
+                return "hi"
+            elif kind is MessageKind.GOODBYE:
+                return "bye"
+            elif kind is MessageKind.PING:
+                return "pong"
+            # no else: PONG falls through silently
+
+        def send_all(network):
+            network.push(MessageKind.PING)
+            network.push(MessageKind.PONG)
+        """),
+}
+
+_ESCAPES_BAD: Dict[str, str] = {
+    "repro/server/seeded_fanout.py": textwrap.dedent(
+        """
+        import pickle
+
+        class Dispatcher:
+            def __init__(self):
+                self.listeners = []
+                self.progress = None
+
+            def fire(self, event):
+                for listener in self.listeners:
+                    listener(event)       # listener may raise
+
+            def drain(self, body):
+                result = pickle.loads(body)
+                if self.progress is not None:
+                    self.progress(result)
+                return result
+        """),
+}
+
+
+def run_seeded(kind: str) -> List[Finding]:
+    """Run one analyzer over its known-bad snippet; returns the findings
+    of the expected rule family (empty == the analyzer went blind)."""
+    if kind == "locks":
+        table = load_source_table(_LOCKS_BAD)
+        findings = analyze_locks(table)
+        rules = {"lock-guard", "lock-order", "lock-balance"}
+    elif kind == "purity":
+        table = load_source_table(_PURITY_BAD)
+        findings = analyze_purity(table)
+        rules = {"purity"}
+    elif kind == "handlers":
+        table = load_source_table(_HANDLERS_BAD)
+        findings = analyze_handlers(table)
+        rules = {"handler-coverage", "handler-dispatch"}
+    elif kind == "escapes":
+        table = load_source_table(_ESCAPES_BAD)
+        findings = analyze_escapes(table)
+        rules = {"exception-safety"}
+    else:
+        raise ValueError(f"unknown seed kind {kind!r}; "
+                         f"expected one of {', '.join(SEED_KINDS)}")
+    return [finding for finding in findings if finding.rule in rules]

@@ -197,6 +197,32 @@ def fuzz(
                     budget_seconds=budget_seconds)
 
 
+def analyze(
+    *,
+    root: Optional[str] = None,
+    baseline: Optional[str] = None,
+    analyzers: Optional[Sequence[str]] = None,
+) -> Any:
+    """Run the static analyzer suite over the repro source tree.
+
+    Builds one AST/CFG/call-graph view of the package and runs the
+    lock-discipline, simulation-purity, handler-exhaustiveness and
+    exception-safety analyzers over it.  ``baseline`` (default: the
+    checked-in ``ANALYSIS_baseline.json`` when present) suppresses
+    known accepted findings; anything else lands in ``report.new``.
+    Returns the :class:`~repro.analysis.runner.AnalysisReport`.
+    """
+    from pathlib import Path
+
+    from repro.analysis.runner import run_analysis
+
+    return run_analysis(
+        root=Path(root) if root else None,
+        baseline_path=Path(baseline) if baseline else None,
+        analyzers=analyzers,
+    )
+
+
 def attach_checkers(system: DisomSystem, strict: bool = False) -> Any:
     """Attach the inline verification layer to a not-yet-run system.
 

@@ -120,7 +120,9 @@ class CoordinatedProtocol(FaultToleranceProtocol):
 
     def on_protocol_message(self, message: Message) -> None:
         kind = message.kind
-        if kind is MessageKind.COORD_CKPT_REQUEST:
+        # Only reached for kinds in _COORD_KINDS (handles_kind gates the
+        # dispatch in Process.deliver), so no fallback branch is needed.
+        if kind is MessageKind.COORD_CKPT_REQUEST:  # analyze: allow(handler-dispatch)
             self._begin_pause()
         elif kind is MessageKind.COORD_CKPT_READY:
             self._ready.add(message.src)

@@ -41,6 +41,18 @@ from repro.types import (
     Tid,
 )
 
+#: The closed recovery-phase vocabulary ("loading" -> "collecting" ->
+#: "replaying" -> "done" | "aborted").  Every phase literal in the tree
+#: is checked against this tuple by the ``phase-coverage`` analyzer
+#: (:mod:`repro.analysis.handlers`).
+RECOVERY_PHASES: tuple[str, ...] = (
+    "loading",
+    "collecting",
+    "replaying",
+    "done",
+    "aborted",
+)
+
 
 @dataclass(frozen=True)
 class RegularLogElement:

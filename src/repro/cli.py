@@ -10,8 +10,10 @@
     python -m repro workload nbody --check        # inline verification
     python -m repro check                         # lint + inline-checked run
     python -m repro check --inline --workload sor --crash 1@40
-    python -m repro check --lint-only             # determinism lint only
+    python -m repro check --lint-only             # lint + static analysis only
     python -m repro check --seed-fault race       # prove the checker bites
+    python -m repro analyze                       # static analyzer suite
+    python -m repro analyze --seed-bad locks      # prove the analyzer bites
     python -m repro experiments E2 E3 --full      # print experiment tables
     python -m repro experiments E1 --check        # experiments under checking
     python -m repro experiments E2 --json out.json --seed 11
@@ -38,16 +40,22 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Optional
 
 from repro import CheckpointPolicy, ClusterConfig, DisomSystem
 from repro.analysis.report import Table
+from repro.analysis.runner import ANALYZERS
+from repro.analysis.seeded import SEED_KINDS
 from repro.analysis.timeline import render_timeline
 from repro.baselines import ALL_BASELINES
 from repro.experiments import ALL_EXPERIMENTS
 from repro.verify.seeded import FAULT_KINDS
 from repro.workloads import ALL_WORKLOADS
+
+#: Analyzer names accepted by ``repro analyze --analyzer``.
+ANALYZER_NAMES = tuple(ANALYZERS)
 
 #: Back-compat alias; the registry lives in :mod:`repro.baselines` now.
 BASELINES = ALL_BASELINES
@@ -122,6 +130,36 @@ def build_parser() -> argparse.ArgumentParser:
                             "checked run")
     check.add_argument("--json", default=None, metavar="PATH",
                        help="also write the check report as JSON")
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="whole-program static analysis: lock discipline, simulation "
+             "purity (interprocedural), handler/phase exhaustiveness and "
+             "exception safety")
+    analyze.add_argument("--against", default=None, metavar="PATH",
+                         help="baseline-suppressions file (default: the "
+                              "checked-in ANALYSIS_baseline.json when it "
+                              "exists)")
+    analyze.add_argument("--no-baseline", action="store_true",
+                         help="ignore any baseline: report every finding")
+    analyze.add_argument("--write-baseline", default=None, metavar="PATH",
+                         nargs="?", const="",
+                         help="record the current findings as the new "
+                              "baseline (default path: the checked-in "
+                              "location) and exit zero")
+    analyze.add_argument("--analyzer", action="append", default=None,
+                         choices=sorted(ANALYZER_NAMES), metavar="NAME",
+                         help="run only this analyzer (repeatable; "
+                              f"choices: {', '.join(sorted(ANALYZER_NAMES))})")
+    analyze.add_argument("--root", default=None, metavar="DIR",
+                         help="package directory to analyze (default: the "
+                              "installed repro package)")
+    analyze.add_argument("--seed-bad", choices=SEED_KINDS, default=None,
+                         help="run one analyzer over a seeded known-bad "
+                              "snippet (exits nonzero when detected; CI "
+                              "inverts)")
+    analyze.add_argument("--json", default=None, metavar="PATH",
+                         help="also write the full report as JSON")
 
     experiments = sub.add_parser("experiments", help="run experiment tables")
     experiments.add_argument("ids", nargs="*", help="experiment id prefixes")
@@ -201,6 +239,9 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--update-corpus", action="store_true",
                       help="write each new finding's minimized repro into "
                            "the corpus")
+    fuzz.add_argument("--dry-run", action="store_true",
+                      help="with --update-corpus: print the corpus entries "
+                           "that would be written without writing them")
     fuzz.add_argument("--no-shrink", action="store_true",
                       help="skip minimization of new findings")
     fuzz.add_argument("--coverage-out", default=None, metavar="PATH",
@@ -406,12 +447,19 @@ def cmd_check(args: argparse.Namespace) -> int:
             return 0  # CI inverts this: undetected faults must exit zero
         return 1
 
+    from repro.analysis.runner import run_analysis
+
     failures = 0
     findings = lint_tree()
     print(f"determinism lint: {len(findings)} finding(s)")
     for finding in findings:
         print(f"  {finding}")
     failures += len(findings)
+    report = run_analysis()
+    print(f"static analysis: {report.summary()}")
+    for analysis_finding in report.new:
+        print(f"  {analysis_finding}")
+    failures += len(report.new)
     if args.lint_only:
         return 1 if failures else 0
 
@@ -595,6 +643,50 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.findings import default_baseline_path, write_baseline
+    from repro.analysis.runner import run_analysis
+    from repro.analysis.seeded import run_seeded
+
+    if args.seed_bad:
+        findings = run_seeded(args.seed_bad)
+        print(f"seeded bad '{args.seed_bad}': {len(findings)} finding(s)")
+        for finding in findings:
+            print(f"  {finding.render()}")
+        if not findings:
+            print("NOT DETECTED -- the analyzer failed to flag a known-bad "
+                  "snippet")
+            return 0  # CI inverts this, mirroring check --seed-fault
+        return 1
+
+    report = run_analysis(
+        root=Path(args.root) if args.root else None,
+        baseline_path=Path(args.against) if args.against else None,
+        analyzers=args.analyzer,
+        use_default_baseline=not args.no_baseline,
+    )
+    print(report.summary())
+    for finding in report.new:
+        print(finding.render())
+    for key in report.stale_keys:
+        print(f"stale baseline key (finding fixed? retire it): {key}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"report written to {args.json}")
+    if args.write_baseline is not None:
+        target = (Path(args.write_baseline) if args.write_baseline
+                  else default_baseline_path())
+        write_baseline(target, report.findings)
+        print(f"baseline written to {target} "
+              f"({len(report.findings)} suppression(s))")
+        return 0
+    return 1 if report.new else 0
+
+
 def cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.fuzz import (
         DEFAULT_CORPUS_DIR,
@@ -633,6 +725,13 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     if args.update_corpus:
         for finding in report.new_findings:
             if finding.minimized is None:
+                continue
+            if args.dry_run:
+                from repro.fuzz.corpus import entry_filename
+
+                would = os.path.join(corpus_dir,
+                                     entry_filename(finding.minimized))
+                print(f"corpus entry would be written (dry run): {would}")
                 continue
             path = write_entry(corpus_dir, make_entry(
                 finding.minimized, finding.signature, finding.error_type,
@@ -692,6 +791,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return cmd_workload(args)
     if args.command == "check":
         return cmd_check(args)
+    if args.command == "analyze":
+        return cmd_analyze(args)
     if args.command == "experiments":
         return cmd_experiments(args)
     if args.command == "bench":

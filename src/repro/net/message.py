@@ -39,20 +39,15 @@ class MessageKind(enum.Enum):
     RECOVERY_DONE = "recovery-done"
     ABORT = "abort"
 
-    # -- sequential-consistency page DSM baseline (Li-Hudak IVY) ----------
-    PAGE_REQUEST = "page-request"
-    PAGE_REPLY = "page-reply"
-    PAGE_INVALIDATE = "page-invalidate"
-    PAGE_INVALIDATE_ACK = "page-invalidate-ack"
-
     # -- coordinated checkpointing baseline (Koo-Toueg style) -------------
     COORD_CKPT_REQUEST = "coord-ckpt-request"
     COORD_CKPT_READY = "coord-ckpt-ready"
     COORD_CKPT_COMMIT = "coord-ckpt-commit"
     COORD_CKPT_ACK = "coord-ckpt-ack"
 
-    # -- generic application / test traffic -------------------------------
-    APP = "app"
+    # -- generic application / test traffic; delivered to raw network
+    #    sinks (perf benches, tests), never through Process.deliver ------
+    APP = "app"  # analyze: allow(handler-coverage)
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
@@ -77,10 +72,6 @@ _KIND_LAYER = {
     MessageKind.RECOVERY_REPLY: LAYER_RECOVERY,
     MessageKind.RECOVERY_DONE: LAYER_RECOVERY,
     MessageKind.ABORT: LAYER_RECOVERY,
-    MessageKind.PAGE_REQUEST: LAYER_COHERENCE,
-    MessageKind.PAGE_REPLY: LAYER_COHERENCE,
-    MessageKind.PAGE_INVALIDATE: LAYER_COHERENCE,
-    MessageKind.PAGE_INVALIDATE_ACK: LAYER_COHERENCE,
     MessageKind.COORD_CKPT_REQUEST: LAYER_CHECKPOINT,
     MessageKind.COORD_CKPT_READY: LAYER_CHECKPOINT,
     MessageKind.COORD_CKPT_COMMIT: LAYER_CHECKPOINT,

@@ -132,6 +132,9 @@ class RunPool:
         #: worker id that produced each slot of the last ``map`` (None
         #: for serial execution or failed slots).
         self.last_workers: List[Optional[int]] = []
+        #: progress callbacks that raised (swallowed: a broken progress
+        #: printer must not abort the drain loop mid-fan-out).
+        self.progress_errors = 0
         #: True when the last ``map`` actually fanned out.
         self.ran_parallel = False
         self._ctx = multiprocessing.get_context("spawn")
@@ -226,9 +229,21 @@ class RunPool:
                     error_type=type(exc).__name__, message=str(exc),
                     traceback=traceback_module.format_exc(), exception=exc,
                 ))
-            if self.progress is not None:
-                self.progress(index + 1, len(calls), call.key)
+            self._notify(index + 1, len(calls), call.key)
         return outcomes
+
+    def _notify(self, done: int, total: int, key: str) -> None:
+        """Invoke the progress callback, absorbing its failures.
+
+        The callback is user code running inside the drain loop; if it
+        raises, workers would be orphaned with results half-collected.
+        """
+        if self.progress is None:
+            return
+        try:
+            self.progress(done, total, key)
+        except Exception:
+            self.progress_errors += 1
 
     # ------------------------------------------------------------------
     # parallel path
@@ -271,8 +286,8 @@ class RunPool:
                     was_new = existing is None
                     results[index] = outcome
                     self.last_workers[index] = worker_id
-                    if was_new and self.progress is not None:
-                        self.progress(len(results), total, calls[index].key)
+                    if was_new:
+                        self._notify(len(results), total, calls[index].key)
         return [results[index] for index in range(total)]
 
     def _ensure_queues(self) -> None:
@@ -312,9 +327,8 @@ class RunPool:
                         message=(f"worker {worker_id} exited with code "
                                  f"{process.exitcode} while running the task"),
                     )
-                    if self.progress is not None:
-                        self.progress(len(results), len(calls),
-                                      calls[index].key)
+                    self._notify(len(results), len(calls),
+                                 calls[index].key)
                 continue
             if self.timeout is None:
                 continue
@@ -333,9 +347,8 @@ class RunPool:
                                  f"{self.timeout:g}s; worker {worker_id} "
                                  f"was cancelled"),
                     )
-                    if self.progress is not None:
-                        self.progress(len(results), len(calls),
-                                      calls[index].key)
+                    self._notify(len(results), len(calls),
+                                 calls[index].key)
 
     @staticmethod
     def _decode(index: int, call: Call, body: bytes) -> Any:

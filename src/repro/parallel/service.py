@@ -101,6 +101,7 @@ class PoolService:
         self.workers_spawned = 0
         self.tasks_submitted = 0
         self.tasks_completed = 0
+        self.collector_errors = 0
         self._ctx = multiprocessing.get_context("spawn")
         self._task_queue = self._ctx.Queue()
         self._result_queue = self._ctx.Queue()
@@ -157,6 +158,7 @@ class PoolService:
                 "workers_spawned": self.workers_spawned,
                 "tasks_submitted": self.tasks_submitted,
                 "tasks_completed": self.tasks_completed,
+                "collector_errors": self.collector_errors,
             }
 
     # ------------------------------------------------------------------
@@ -259,34 +261,55 @@ class PoolService:
     # collector thread
     # ------------------------------------------------------------------
     def _collect(self) -> None:
+        """Collector thread main loop.
+
+        Every pending ticket waits on this thread, so it must survive
+        anything a message can throw at it -- a malformed tuple or a
+        result body that fails to unpickle is recorded in
+        ``collector_errors`` (visible via :meth:`stats`) instead of
+        killing the thread and hanging every outstanding
+        :meth:`result` call.
+        """
         while not self._closed.is_set():
-            self._sweep()
             try:
-                message = self._result_queue.get(timeout=_POLL_SECONDS)
-            except queue_module.Empty:
-                continue
-            except (OSError, ValueError):  # pragma: no cover - teardown
-                return
-            kind = message[0]
-            if kind == "hello":
-                continue
-            if kind == "start":
-                _, worker_id, index = message
+                if not self._collect_once():
+                    return
+            except Exception:
                 with self._lock:
-                    ticket = self._tickets.get(index)
-                    if ticket is not None:
-                        ticket.started_at = time.monotonic()
-                        ticket.worker_id = worker_id
-                        self._running[worker_id] = index
-            elif kind == "done":
-                _, worker_id, index, body = message
-                with self._lock:
-                    self._running.pop(worker_id, None)
-                    ticket = self._tickets.get(index)
-                    if ticket is None:
-                        continue  # cancelled by timeout before the result
-                    outcome = decode_result_body(index, ticket.key, body)
-                    self._finish_locked(ticket, outcome)
+                    self.collector_errors += 1
+
+    def _collect_once(self) -> bool:
+        """One sweep + one message; False stops the collector."""
+        self._sweep()
+        try:
+            message = self._result_queue.get(timeout=_POLL_SECONDS)
+        except queue_module.Empty:
+            return True
+        except (OSError, ValueError):  # pragma: no cover - teardown
+            return False
+        kind = message[0]
+        if kind == "hello":
+            return True
+        if kind == "start":
+            _, worker_id, index = message
+            with self._lock:
+                ticket = self._tickets.get(index)
+                if ticket is not None:
+                    ticket.started_at = time.monotonic()
+                    ticket.worker_id = worker_id
+                    self._running[worker_id] = index
+        elif kind == "done":
+            _, worker_id, index, body = message
+            with self._lock:
+                self._running.pop(worker_id, None)
+                ticket = self._tickets.get(index)
+                if ticket is None:
+                    return True  # cancelled by timeout before the result
+                outcome = decode_result_body(index, ticket.key, body)
+                self._finish_locked(ticket, outcome)
+        else:
+            raise ValueError(f"unknown result-queue message kind {kind!r}")
+        return True
 
     def _sweep(self) -> None:
         """Respawn dead workers; cancel tasks past their deadline."""

@@ -39,7 +39,9 @@ class ScenarioReply:
 
     @property
     def json(self) -> Any:
-        return json.loads(self.body.decode("utf-8"))
+        # Client-side parse: a malformed reply should raise to the
+        # caller (there is no loop here to protect).
+        return json.loads(self.body.decode("utf-8"))  # analyze: allow(exception-safety)
 
     @property
     def cache_status(self) -> Optional[str]:

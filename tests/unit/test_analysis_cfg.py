@@ -1,0 +1,222 @@
+"""Unit tests for the CFG builder, dataflow engine and call graph."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.cfg import (
+    STMT,
+    WITH_ENTER,
+    WITH_EXIT,
+    analyze_forward,
+    build_cfg,
+    iter_calls,
+    iter_functions,
+)
+from repro.analysis.callgraph import build_call_graph
+from repro.analysis.findings import load_source_table
+
+
+def _cfg_of(source: str):
+    tree = ast.parse(source)
+    func = tree.body[0]
+    return build_cfg(func)
+
+
+class TestCfgShape:
+    def test_straight_line_single_block(self):
+        cfg = _cfg_of("def f():\n    a = 1\n    b = 2\n")
+        entry = cfg.blocks[cfg.entry]
+        assert [tag for tag, _ in entry.atoms] == [STMT, STMT]
+        assert cfg.exit in entry.succs
+
+    def test_if_else_joins(self):
+        cfg = _cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n")
+        preds = cfg.preds()
+        # Both arms flow into a join that reaches the exit.
+        joins = [i for i, ps in preds.items() if len(ps) == 2]
+        assert joins
+
+    def test_early_return_reaches_exit_directly(self):
+        cfg = _cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        return 1\n"
+            "    return 2\n")
+        preds = cfg.preds()
+        assert len(preds[cfg.exit]) == 2
+
+    def test_while_loop_has_back_edge(self):
+        cfg = _cfg_of(
+            "def f(x):\n"
+            "    while x:\n"
+            "        x -= 1\n"
+            "    return x\n")
+        has_back_edge = any(
+            succ <= block.index
+            for block in cfg.blocks for succ in block.succs
+            if block.index != cfg.entry and succ != cfg.exit)
+        assert has_back_edge
+
+    def test_with_brackets_enter_exit(self):
+        cfg = _cfg_of(
+            "def f(lock):\n"
+            "    with lock:\n"
+            "        a = 1\n")
+        tags = [tag for block in cfg.blocks for tag, _ in block.atoms]
+        assert WITH_ENTER in tags and WITH_EXIT in tags
+        assert tags.index(WITH_ENTER) < tags.index(WITH_EXIT)
+
+    def test_try_body_may_jump_to_handler(self):
+        cfg = _cfg_of(
+            "def f():\n"
+            "    try:\n"
+            "        a = 1\n"
+            "    except ValueError:\n"
+            "        a = 2\n"
+            "    return a\n")
+        preds = cfg.preds()
+        handler_blocks = [i for i, ps in preds.items()
+                          if cfg.entry in ps and i != cfg.exit]
+        assert handler_blocks
+
+    def test_break_exits_loop(self):
+        cfg = _cfg_of(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        if x:\n"
+            "            break\n"
+            "    return 1\n")
+        # Function still reaches its exit.
+        assert cfg.preds()[cfg.exit]
+
+
+class TestDataflow:
+    def test_reaching_exit_collects_both_arms(self):
+        cfg = _cfg_of(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n")
+
+        def transfer(state, block):
+            return state | {id(node) for _, node in block.atoms}
+
+        _, reaching = analyze_forward(
+            cfg, frozenset(), transfer,
+            lambda states: frozenset().union(*states))
+        assert reaching
+
+    def test_loop_reaches_fixpoint(self):
+        cfg = _cfg_of(
+            "def f(x):\n"
+            "    while x:\n"
+            "        x -= 1\n"
+            "    return x\n")
+        counter = {"calls": 0}
+
+        def transfer(state, block):
+            counter["calls"] += 1
+            return min(state + len(block.atoms), 10)
+
+        entry_states, reaching = analyze_forward(
+            cfg, 0, transfer, max)
+        assert reaching
+        # Bounded lattice: terminated well under the iteration limit.
+        assert counter["calls"] < 64 * len(cfg.blocks) ** 2
+
+
+class TestIterHelpers:
+    def test_iter_calls_skips_nested_defs(self):
+        tree = ast.parse(
+            "def f():\n"
+            "    g()\n"
+            "    def h():\n"
+            "        i()\n"
+            "    lambda: j()\n")
+        names = [call.func.id for call in iter_calls(tree.body[0])]
+        assert names == ["g"]
+
+    def test_iter_functions_yields_methods_with_class(self):
+        tree = ast.parse(
+            "def top():\n    pass\n"
+            "class C:\n"
+            "    def m(self):\n        pass\n")
+        found = [(cls, node.name) for cls, node in iter_functions(tree)]
+        assert ("C", "m") in found and (None, "top") in found
+
+
+class TestCallGraph:
+    def test_same_module_and_self_resolution(self):
+        table = load_source_table({
+            "pkg/a.py": (
+                "def helper():\n    pass\n"
+                "def caller():\n    helper()\n"
+                "class C:\n"
+                "    def m(self):\n        self.n()\n"
+                "    def n(self):\n        pass\n"),
+        })
+        graph = build_call_graph(table)
+        callees = {s.callee for s in graph.calls["pkg.a.caller"]}
+        assert "pkg.a.helper" in callees
+        assert {s.callee for s in graph.calls["pkg.a.C.m"]} == {"pkg.a.C.n"}
+
+    def test_cross_module_alias_and_from_import(self):
+        table = load_source_table({
+            "pkg/util.py": "def f():\n    pass\n",
+            "pkg/a.py": (
+                "from pkg import util\n"
+                "from pkg.util import f\n"
+                "def one():\n    util.f()\n"
+                "def two():\n    f()\n"),
+        })
+        graph = build_call_graph(table)
+        assert {s.callee for s in graph.calls["pkg.a.one"]} == {"pkg.util.f"}
+        assert {s.callee for s in graph.calls["pkg.a.two"]} == {"pkg.util.f"}
+
+    def test_class_constructor_resolves_to_init(self):
+        table = load_source_table({
+            "pkg/a.py": (
+                "class C:\n"
+                "    def __init__(self):\n        pass\n"
+                "def make():\n    return C()\n"),
+        })
+        graph = build_call_graph(table)
+        assert {s.callee for s in graph.calls["pkg.a.make"]} == {
+            "pkg.a.C.__init__"}
+
+    def test_unique_method_match_but_not_ambient_names(self):
+        table = load_source_table({
+            "pkg/a.py": (
+                "class Engine:\n"
+                "    def ignite(self):\n        pass\n"
+                "    def get(self):\n        pass\n"),
+            "pkg/b.py": (
+                "def drive(engine, cache):\n"
+                "    engine.ignite()\n"
+                "    cache.get('x')\n"),
+        })
+        graph = build_call_graph(table)
+        callees = {s.callee for s in graph.calls["pkg.b.drive"]}
+        assert "pkg.a.Engine.ignite" in callees      # distinctive: linked
+        assert "pkg.a.Engine.get" not in callees     # ambient: unlinked
+
+    def test_calls_in_nested_defs_attributed_to_definer(self):
+        table = load_source_table({
+            "pkg/a.py": (
+                "def target():\n    pass\n"
+                "def outer():\n"
+                "    def inner():\n"
+                "        target()\n"
+                "    return inner\n"),
+        })
+        graph = build_call_graph(table)
+        assert {s.callee for s in graph.calls["pkg.a.outer"]} == {
+            "pkg.a.target"}

@@ -1,0 +1,196 @@
+"""Unit tests for the handler/transition exhaustiveness analyzer."""
+
+from __future__ import annotations
+
+from repro.analysis.findings import load_source_table
+from repro.analysis.handlers import analyze_handlers
+
+_ENUM = (
+    "class MessageKind:\n"
+    "    HELLO = 'hello'\n"
+    "    GOODBYE = 'goodbye'\n"
+    "    PING = 'ping'\n"
+    "    PONG = 'pong'\n"
+)
+
+_DISPATCHER_FULL = (
+    # One send() per kind: references every member without forming a
+    # collection literal (which would read as a handler registry).
+    "from repro.net.message import MessageKind\n"
+    "def make(send):\n"
+    "    send(MessageKind.HELLO)\n"
+    "    send(MessageKind.GOODBYE)\n"
+    "    send(MessageKind.PING)\n"
+    "    send(MessageKind.PONG)\n"
+    "def dispatch(kind):\n"
+    "    if kind is MessageKind.HELLO:\n"
+    "        return 1\n"
+    "    elif kind is MessageKind.GOODBYE:\n"
+    "        return 2\n"
+    "    elif kind is MessageKind.PING:\n"
+    "        return 3\n"
+    "    elif kind is MessageKind.PONG:\n"
+    "        return 4\n"
+    "    else:\n"
+    "        raise ValueError(kind)\n"
+)
+
+
+def _findings(sources: dict):
+    return analyze_handlers(load_source_table(sources))
+
+
+class TestKindRules:
+    def test_fully_dispatched_enum_is_clean(self):
+        findings = _findings({
+            "repro/net/message.py": _ENUM,
+            "repro/cluster/mod.py": _DISPATCHER_FULL,
+        })
+        assert findings == []
+
+    def test_dead_kind_never_referenced(self):
+        dispatcher = _DISPATCHER_FULL.replace(
+            "    send(MessageKind.PONG)\n", ""
+        ).replace(
+            "    elif kind is MessageKind.PONG:\n        return 4\n", "")
+        findings = _findings({
+            "repro/net/message.py": _ENUM,
+            "repro/cluster/mod.py": dispatcher,
+        })
+        dead = [f for f in findings if "dead message kind" in f.message]
+        assert len(dead) == 1 and "PONG" in dead[0].message
+        assert dead[0].rule == "handler-coverage"
+        assert dead[0].path == "repro/net/message.py"
+
+    def test_constructed_but_never_dispatched_kind(self):
+        dispatcher = _DISPATCHER_FULL.replace(
+            "    elif kind is MessageKind.PONG:\n        return 4\n", "")
+        findings = _findings({
+            "repro/net/message.py": _ENUM,
+            "repro/cluster/mod.py": dispatcher,
+        })
+        unhandled = [f for f in findings
+                     if "no dispatch chain" in f.message]
+        assert len(unhandled) == 1 and "PONG" in unhandled[0].message
+
+    def test_registry_literal_counts_as_handling(self):
+        dispatcher = _DISPATCHER_FULL.replace(
+            "    elif kind is MessageKind.PONG:\n        return 4\n", "")
+        registry = (
+            "from repro.net.message import MessageKind\n"
+            "HANDLERS = {MessageKind.PONG: 'on_pong',\n"
+            "            MessageKind.PING: 'on_ping'}\n")
+        findings = _findings({
+            "repro/net/message.py": _ENUM,
+            "repro/cluster/mod.py": dispatcher,
+            "repro/cluster/registry.py": registry,
+        })
+        assert not [f for f in findings if "no dispatch chain" in f.message]
+
+    def test_chain_without_else_reports_missing_kinds(self):
+        dispatcher = _DISPATCHER_FULL.replace(
+            "    elif kind is MessageKind.PONG:\n"
+            "        return 4\n"
+            "    else:\n"
+            "        raise ValueError(kind)\n", "")
+        findings = _findings({
+            "repro/net/message.py": _ENUM,
+            "repro/cluster/mod.py": dispatcher,
+        })
+        missing = [f for f in findings if "no else/fallback" in f.message]
+        assert len(missing) == 1 and "PONG" in missing[0].message
+
+    def test_dead_branch_duplicate_kind(self):
+        dispatcher = _DISPATCHER_FULL.replace(
+            "    elif kind is MessageKind.PONG:\n        return 4\n",
+            "    elif kind is MessageKind.PONG:\n        return 4\n"
+            "    elif kind is MessageKind.HELLO:\n        return 5\n")
+        findings = _findings({
+            "repro/net/message.py": _ENUM,
+            "repro/cluster/mod.py": dispatcher,
+        })
+        dead = [f for f in findings if "dead branch" in f.message]
+        assert len(dead) == 1 and "HELLO" in dead[0].message
+
+    def test_unknown_member_reference(self):
+        user = (
+            "from repro.net.message import MessageKind\n"
+            "def f():\n"
+            "    return MessageKind.HELO\n")
+        findings = _findings({
+            "repro/net/message.py": _ENUM,
+            "repro/cluster/mod.py": _DISPATCHER_FULL,
+            "repro/cluster/typo.py": user,
+        })
+        unknown = [f for f in findings if "nonexistent" in f.message]
+        assert len(unknown) == 1 and "HELO" in unknown[0].message
+
+    def test_handles_kind_gate_counts_via_fallback_elif(self):
+        # A chain ending in a non-kind elif (e.g. a predicate call)
+        # counts as having a fallback.
+        dispatcher = _DISPATCHER_FULL.replace(
+            "    else:\n"
+            "        raise ValueError(kind)\n",
+            "    elif handles(kind):\n"
+            "        return 9\n")
+        findings = _findings({
+            "repro/net/message.py": _ENUM,
+            "repro/cluster/mod.py": dispatcher,
+        })
+        assert not [f for f in findings if "no else/fallback" in f.message]
+
+
+_PHASES = (
+    "RECOVERY_PHASES: tuple[str, ...] = (\n"
+    "    'loading', 'collecting', 'replaying', 'done', 'aborted',\n"
+    ")\n"
+)
+
+
+class TestPhaseRules:
+    def test_unknown_phase_literal_in_comparison(self):
+        findings = _findings({
+            "repro/checkpoint/recovery.py": _PHASES,
+            "repro/cluster/mod.py": (
+                "def f(self):\n"
+                "    if self.phase == 'loadin':\n"
+                "        return 1\n"
+                "    return 0\n"),
+        })
+        bad = [f for f in findings if f.rule == "phase-coverage"]
+        assert any("'loadin'" in f.message for f in bad)
+
+    def test_unknown_phase_in_setter_call(self):
+        findings = _findings({
+            "repro/checkpoint/recovery.py": _PHASES,
+            "repro/cluster/mod.py": (
+                "def f(self):\n"
+                "    self._set_phase('finished')\n"),
+        })
+        assert any("'finished'" in f.message for f in findings
+                   if f.rule == "phase-coverage")
+
+    def test_known_phases_everywhere_is_clean(self):
+        findings = _findings({
+            "repro/checkpoint/recovery.py": _PHASES,
+            "repro/cluster/mod.py": (
+                "def f(self):\n"
+                "    self._set_phase('replaying')\n"
+                "    if self.phase == 'done':\n"
+                "        return 1\n"
+                "    return 0\n"),
+        })
+        assert findings == []
+
+    def test_phase_chain_without_else_reports_missing(self):
+        findings = _findings({
+            "repro/checkpoint/recovery.py": _PHASES,
+            "repro/cluster/mod.py": (
+                "def f(self):\n"
+                "    if self.phase == 'loading':\n"
+                "        return 1\n"
+                "    elif self.phase == 'collecting':\n"
+                "        return 2\n"),
+        })
+        missing = [f for f in findings if "no else" in f.message]
+        assert len(missing) == 1 and "replaying" in missing[0].message

@@ -1,0 +1,166 @@
+"""Unit tests for the lock-discipline analyzer."""
+
+from __future__ import annotations
+
+from repro.analysis.findings import load_source_table
+from repro.analysis.locks import analyze_locks, path_in_scope
+
+
+def _analyze(source: str, path: str = "repro/server/mod.py"):
+    table = load_source_table({path: source})
+    return analyze_locks(table)
+
+
+_GUARDED_CLASS_HEAD = (
+    "import threading\n"
+    "class Store:\n"
+    "    def __init__(self):\n"
+    "        self._lock = threading.Lock()\n"
+    "        self.items = {}\n"
+)
+
+
+def _guarded_methods(n: int) -> str:
+    # n distinct methods, each touching self.items under the lock.
+    return "".join(
+        f"    def m{i}(self):\n"
+        f"        with self._lock:\n"
+        f"            self.items[{i}] = {i}\n"
+        for i in range(n))
+
+
+class TestPathInScope:
+    def test_directory_prefix_and_suffix_entries(self):
+        assert path_in_scope("repro/server/cache.py", ("repro/server/",))
+        assert not path_in_scope("repro/sim/kernel.py", ("repro/server/",))
+        assert path_in_scope("repro/parallel/pool.py",
+                             ("repro/parallel/pool.py",))
+        assert path_in_scope("anything.py", ("",))
+
+
+class TestLockGuard:
+    def test_majority_guarded_attr_flags_unguarded_access(self):
+        source = (_GUARDED_CLASS_HEAD + _guarded_methods(4)
+                  + "    def racy(self):\n"
+                  + "        self.items.clear()\n")
+        findings = _analyze(source)
+        guard = [f for f in findings if f.rule == "lock-guard"]
+        assert len(guard) == 1
+        assert "racy" in guard[0].message and "items" in guard[0].message
+
+    def test_below_min_accesses_is_silent(self):
+        source = (_GUARDED_CLASS_HEAD + _guarded_methods(2)
+                  + "    def racy(self):\n"
+                  + "        self.items.clear()\n")
+        assert not [f for f in _analyze(source) if f.rule == "lock-guard"]
+
+    def test_init_accesses_are_exempt(self):
+        # All non-init accesses guarded; __init__ writes never count
+        # against the attribute.
+        source = _GUARDED_CLASS_HEAD + _guarded_methods(5)
+        assert not [f for f in _analyze(source) if f.rule == "lock-guard"]
+
+    def test_locked_suffix_method_counts_as_guarded(self):
+        source = (_GUARDED_CLASS_HEAD + _guarded_methods(4)
+                  + "    def sweep_locked(self):\n"
+                  + "        self.items.clear()\n")
+        assert not [f for f in _analyze(source) if f.rule == "lock-guard"]
+
+    def test_out_of_scope_module_is_ignored(self):
+        source = (_GUARDED_CLASS_HEAD + _guarded_methods(4)
+                  + "    def racy(self):\n"
+                  + "        self.items.clear()\n")
+        table = load_source_table({"repro/sim/mod.py": source})
+        assert analyze_locks(table) == []
+
+
+class TestLockBalance:
+    def test_acquire_without_release_on_one_path(self):
+        source = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def leak(self, flag):\n"
+            "        self._lock.acquire()\n"
+            "        if flag:\n"
+            "            return 1\n"
+            "        self._lock.release()\n"
+            "        return 0\n")
+        balance = [f for f in _analyze(source) if f.rule == "lock-balance"]
+        assert balance and "leak" in balance[0].message
+
+    def test_release_of_unheld_lock(self):
+        source = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def oops(self):\n"
+            "        self._lock.release()\n")
+        balance = [f for f in _analyze(source) if f.rule == "lock-balance"]
+        assert balance and "not held" in balance[0].message
+
+    def test_with_statement_always_balances(self):
+        source = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def fine(self, flag):\n"
+            "        with self._lock:\n"
+            "            if flag:\n"
+            "                return 1\n"
+            "        return 0\n")
+        assert not [f for f in _analyze(source) if f.rule == "lock-balance"]
+
+    def test_matched_acquire_release_is_clean(self):
+        source = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def fine(self):\n"
+            "        self._lock.acquire()\n"
+            "        x = 1\n"
+            "        self._lock.release()\n"
+            "        return x\n")
+        assert not [f for f in _analyze(source) if f.rule == "lock-balance"]
+
+
+class TestLockOrder:
+    def test_inverted_acquisition_order_is_a_deadlock_finding(self):
+        source = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.a_lock = threading.Lock()\n"
+            "        self.b_lock = threading.Lock()\n"
+            "    def forward(self):\n"
+            "        with self.a_lock:\n"
+            "            with self.b_lock:\n"
+            "                pass\n"
+            "    def backward(self):\n"
+            "        with self.b_lock:\n"
+            "            with self.a_lock:\n"
+            "                pass\n")
+        order = [f for f in _analyze(source) if f.rule == "lock-order"]
+        assert len(order) == 1
+        assert "deadlock" in order[0].message
+
+    def test_consistent_nesting_is_clean(self):
+        source = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.a_lock = threading.Lock()\n"
+            "        self.b_lock = threading.Lock()\n"
+            "    def one(self):\n"
+            "        with self.a_lock:\n"
+            "            with self.b_lock:\n"
+            "                pass\n"
+            "    def two(self):\n"
+            "        with self.a_lock:\n"
+            "            with self.b_lock:\n"
+            "                pass\n")
+        assert not [f for f in _analyze(source) if f.rule == "lock-order"]

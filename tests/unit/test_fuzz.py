@@ -297,3 +297,70 @@ class TestCorpusFormat:
 
     def test_entry_schema_constant(self):
         assert self._entry()["schema"] == CORPUS_SCHEMA
+
+
+class TestUpdateCorpusDryRun:
+    """``repro fuzz --update-corpus --dry-run`` prints the would-be
+    corpus changes without writing anything."""
+
+    @staticmethod
+    def _fake_report():
+        from repro.fuzz import Finding, FuzzReport
+
+        rng = random.Random(derive_seed(7, "fuzz-trial", 0))
+        doc = random_schedule(rng)
+        finding = Finding(
+            trial=0, signature="AssertionError:boom",
+            error_type="AssertionError", message="boom",
+            document=doc, known=False, minimized=doc, shrink_runs=3)
+        return FuzzReport(seed=7, trials=1, coverage=CoverageMap(),
+                          findings=[finding])
+
+    def test_dry_run_prints_path_and_writes_nothing(
+            self, tmp_path, monkeypatch, capsys):
+        import repro.fuzz as fuzz_pkg
+        from repro.cli import main
+
+        monkeypatch.setattr(fuzz_pkg, "run_fuzz",
+                            lambda **kwargs: self._fake_report())
+        corpus = tmp_path / "corpus"
+        rc = main(["fuzz", "--update-corpus", "--dry-run",
+                   "--corpus-dir", str(corpus)])
+        assert rc == 1  # a new finding still fails the run
+        out = capsys.readouterr().out
+        assert "corpus entry would be written (dry run):" in out
+        assert str(corpus) in out
+        assert not corpus.exists()
+
+    def test_without_dry_run_the_entry_is_written(
+            self, tmp_path, monkeypatch, capsys):
+        import repro.fuzz as fuzz_pkg
+        from repro.cli import main
+
+        monkeypatch.setattr(fuzz_pkg, "run_fuzz",
+                            lambda **kwargs: self._fake_report())
+        corpus = tmp_path / "corpus"
+        rc = main(["fuzz", "--update-corpus", "--corpus-dir", str(corpus)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "corpus entry written:" in out
+        written = list(corpus.glob("*.json"))
+        assert len(written) == 1
+        entry = json.loads(written[0].read_text())
+        assert entry["failure"]["signature"] == "AssertionError:boom"
+
+    def test_dry_run_and_real_run_name_the_same_file(
+            self, tmp_path, monkeypatch, capsys):
+        import repro.fuzz as fuzz_pkg
+        from repro.cli import main
+
+        monkeypatch.setattr(fuzz_pkg, "run_fuzz",
+                            lambda **kwargs: self._fake_report())
+        corpus = tmp_path / "corpus"
+        main(["fuzz", "--update-corpus", "--dry-run",
+              "--corpus-dir", str(corpus)])
+        dry_out = capsys.readouterr().out
+        main(["fuzz", "--update-corpus", "--corpus-dir", str(corpus)])
+        capsys.readouterr()
+        (written,) = corpus.glob("*.json")
+        assert str(written) in dry_out

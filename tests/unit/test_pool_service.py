@@ -136,3 +136,15 @@ def test_close_fails_open_and_rejects_new_work():
 def test_max_pending_validated():
     with pytest.raises(ConfigError):
         PoolService(jobs=1, max_pending=0)
+
+
+def test_collector_survives_malformed_queue_messages():
+    # A garbage message on the result queue must not kill the collector
+    # thread (every pending ticket would then hang forever); it is
+    # counted in collector_errors and the service keeps working.
+    with PoolService(jobs=1) as service:
+        service._result_queue.put(("unknown-tag",))
+        service._result_queue.put(None)
+        assert _wait_until(
+            lambda: service.stats()["collector_errors"] >= 2)
+        assert service.run(_double, (5,), wait=30.0) == 10

@@ -1,6 +1,10 @@
 """Unit tests for the determinism lint."""
 
-from repro.verify.lint import lint_source, lint_tree
+from repro.verify.lint import (
+    RULE_EXEMPT_SUFFIXES,
+    lint_source,
+    lint_tree,
+)
 
 
 def rules(source, path="pkg/mod.py"):
@@ -96,6 +100,50 @@ class TestSuppression:
                "a = time.time()  # det: allow\n"
                "b = time.time()\n")
         assert rules(src) == ["wall-clock"]
+
+    def test_marker_with_trailing_rationale(self):
+        src = ("import time\n"
+               "t = time.time()  # det: allow -- report label only\n")
+        assert rules(src) == []
+
+    def test_marker_suppresses_any_rule_on_the_line(self):
+        src = "for x in set(items):  # det: allow\n    use(x)\n"
+        assert rules(src) == []
+
+
+class TestRuleExemptions:
+    def test_exemptions_are_per_rule(self):
+        # A wall-clock-exempt path is NOT exempt from the other rules.
+        path = "repro/parallel/pool.py"
+        assert path.endswith(RULE_EXEMPT_SUFFIXES["wall-clock"][4])
+        assert lint_source(path, "import time\nt = time.time()\n") == []
+        findings = lint_source(path,
+                               "import random\nx = random.random()\n")
+        assert [f.rule for f in findings] == ["unseeded-random"]
+
+    def test_suffix_match_requires_full_segment_tail(self):
+        # "verify/inline.py" must match as a path suffix, so a module
+        # that merely *contains* the string elsewhere is not exempt.
+        findings = lint_source("repro/verify/inline.py.bak/mod.py",
+                               "import time\nt = time.time()\n")
+        assert [f.rule for f in findings] == ["wall-clock"]
+
+    def test_backslash_paths_are_normalized(self):
+        findings = lint_source("repro\\verify\\inline.py",
+                               "import time\nt = time.time()\n")
+        assert findings == []
+
+    def test_every_exempt_suffix_names_a_real_module(self):
+        # Exemptions for deleted modules linger silently; keep the
+        # table honest against the installed package.
+        from repro.verify.lint import default_root
+
+        root = default_root()
+        for suffixes in RULE_EXEMPT_SUFFIXES.values():
+            for suffix in suffixes:
+                assert (root / suffix).exists(), (
+                    f"RULE_EXEMPT_SUFFIXES entry {suffix!r} matches no "
+                    f"module under {root}")
 
 
 class TestSyntaxRule:
