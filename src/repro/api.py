@@ -44,6 +44,7 @@ def run_workload(
     spare_nodes: Optional[int] = None,
     highwater: Optional[int] = None,
     latency: Optional[Any] = None,
+    consistency: str = "entry",
 ) -> tuple[DisomSystem, RunResult]:
     """Build and run one cluster execution of ``workload``.
 
@@ -56,7 +57,12 @@ def run_workload(
     ``latency`` overrides the wire model: a
     :class:`~repro.net.channel.LatencyModel` or a mapping with any of
     ``base`` / ``per_byte`` / ``jitter`` (unnamed knobs keep their
-    defaults).  Returns ``(system, result)``.
+    defaults).  ``consistency`` selects the coherence backend (one of
+    :data:`repro.memory.model.CONSISTENCY_MODELS`); on a non-EC backend
+    the default fault-tolerance scheme switches from DiSOM to
+    ``"none"`` because the DiSOM checkpoint protocol is EC-only --
+    selecting it explicitly raises :class:`~repro.errors.ConfigError`.
+    Returns ``(system, result)``.
     """
     from repro.experiments.base import run_workload as _run
     from repro.workloads import ALL_WORKLOADS
@@ -69,6 +75,12 @@ def run_workload(
                 f"unknown workload {workload!r}; one of "
                 f"{sorted(ALL_WORKLOADS)}"
             ) from None
+    if baseline is None and protocol_factory is None and consistency != "entry":
+        # The DiSOM default only applies to the EC backend; the other
+        # consistency models run without fault tolerance unless a
+        # baseline is named (naming "disom" raises a precise ConfigError
+        # at process construction).
+        baseline = "none"
     if baseline is not None:
         if protocol_factory is not None:
             raise ConfigError("pass baseline or protocol_factory, not both")
@@ -95,6 +107,7 @@ def run_workload(
         store_dir=store_dir,
         observers=observers,
         latency=latency,
+        consistency=consistency,
     )
 
 

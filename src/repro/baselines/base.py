@@ -31,9 +31,25 @@ class FaultToleranceProtocol(CoherenceHooks):
     name = "base"
     #: Whether the scheme can recover a crashed process.
     supports_recovery = False
+    #: Whether the scheme records dummy entries for local acquires.
+    #: The inline verifier's dummy-coverage pass only applies to
+    #: processes whose protocol does.
+    emits_dummies = False
 
     def __init__(self, process: Any) -> None:
         self.process = process
+        #: Unified observer registry (see :mod:`repro.observers`),
+        #: bound by :meth:`bind_observers`; ``None`` when unobserved.
+        self.observers: Optional[Any] = None
+
+    def bind_observers(self, observers: Any) -> None:
+        """Attach the cluster-wide observer registry.
+
+        Subclasses extend this to wire their own stores (the DiSOM
+        protocol binds its :class:`~repro.checkpoint.log.ProcessLog`).
+        Idempotent: re-binding replaces the previous registry.
+        """
+        self.observers = observers
 
     @property
     def pid(self) -> ProcessId:

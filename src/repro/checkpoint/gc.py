@@ -14,11 +14,11 @@ Three stores grow during the failure-free period and are trimmed when a
 
 All functions return the number of items removed, for the E9 experiment.
 
-The ``observer`` keyword arguments are a deprecated hookup point kept as
-shims: the protocol passes its ``invariant_observer`` slot through, which
-the unified :class:`repro.observers.Observers` registry occupies when
-configured (``ClusterConfig(observers=...)``).  Register GC auditors
-there rather than threading an observer in by hand.
+The ``observers`` keyword arguments take the unified
+:class:`repro.observers.Observers` registry (the protocol passes its
+bound registry through); every GC drop is announced there together with
+the CkpSet justifying it, so GC safety can be audited online.  Register
+auditors via ``ClusterConfig(observers=...)``.
 """
 
 from __future__ import annotations
@@ -33,12 +33,12 @@ from repro.types import Tid
 
 
 def gc_thread_sets(log: ProcessLog, ckp_set: CkpSet,
-                   observer: Optional[Any] = None) -> tuple[int, int]:
+                   observers: Optional[Any] = None) -> tuple[int, int]:
     """Trim threadSets against ``ckp_set``; drop dead old entries.
 
-    Returns ``(pairs_removed, entries_removed)``.  ``observer`` (the
-    verification layer) is told of every dropped pair together with the
-    CkpSet justifying the drop, so GC safety can be checked online.
+    Returns ``(pairs_removed, entries_removed)``.  ``observers`` (the
+    registry) is told of every dropped pair together with the CkpSet
+    justifying the drop, so GC safety can be checked online.
     """
     lts = ckp_set.lts_by_tid()
     pairs_removed = 0
@@ -48,8 +48,8 @@ def gc_thread_sets(log: ProcessLog, ckp_set: CkpSet,
             ckpt_lt = lts.get(pair.ep_acq.tid)
             if ckpt_lt is not None and pair.ep_acq.lt < ckpt_lt:
                 pairs_removed += 1
-                if observer is not None:
-                    observer.on_gc_pair_drop(entry, pair, ckp_set)
+                if observers is not None:
+                    observers.on_gc_pair_drop(entry, pair, ckp_set)
             else:
                 kept.append(pair)
         entry.thread_set[:] = kept
@@ -58,20 +58,20 @@ def gc_thread_sets(log: ProcessLog, ckp_set: CkpSet,
 
 
 def gc_dummy_log(dummy_log: DummyLog, ckp_set: CkpSet,
-                 observer: Optional[Any] = None) -> int:
+                 observers: Optional[Any] = None) -> int:
     """Drop stored dummy entries created by ``P_ckp`` before its checkpoint."""
-    if observer is not None:
+    if observers is not None:
         lts = ckp_set.lts_by_tid()
         for dummy in dummy_log:
             ckpt_lt = lts.get(dummy.ep_acq.tid)
             if (dummy.ep_acq.tid.pid == ckp_set.pid
                     and ckpt_lt is not None and dummy.ep_acq.lt < ckpt_lt):
-                observer.on_gc_dummy_drop(dummy, ckp_set)
+                observers.on_gc_dummy_drop(dummy, ckp_set)
     return dummy_log.remove_before(ckp_set.pid, ckp_set.lts_by_tid())
 
 
 def gc_dep_sets(threads: Iterable[Thread], ckp_set: CkpSet,
-                observer: Optional[Any] = None) -> int:
+                observers: Optional[Any] = None) -> int:
     """Drop depSet entries with ``ep_prd`` before the producer's checkpoint."""
     lts = ckp_set.lts_by_tid()
     removed = 0
@@ -85,8 +85,8 @@ def gc_dep_sets(threads: Iterable[Thread], ckp_set: CkpSet,
                 and dep.ep_prd.lt < ckpt_lt
             ):
                 removed += 1
-                if observer is not None:
-                    observer.on_gc_dep_drop(thread.tid, dep, ckp_set)
+                if observers is not None:
+                    observers.on_gc_dep_drop(thread.tid, dep, ckp_set)
             else:
                 kept.append(dep)
         thread.dep_set[:] = kept

@@ -134,12 +134,18 @@ class ProcessLog:
         #: the quantity the perf reports track as "peak log bytes".
         self.live_bytes = 0
         self.peak_bytes = 0
-        #: Optional verification observer with ``on_log_append(entry)``
-        #: and ``on_log_remove(entry)`` methods (duck-typed; see
-        #: :mod:`repro.verify.invariants`).  Deprecated hookup point:
-        #: prefer registering on :class:`repro.observers.Observers` via
-        #: ``ClusterConfig(observers=...)``.
-        self.observer: Optional[Any] = None
+        #: Unified observer registry bound via :meth:`bind`; append and
+        #: remove notifications are dispatched there with the owning
+        #: process's pid attached.
+        self._observers: Optional[Any] = None
+        self._pid: ProcessId = -1
+
+    def bind(self, observers: Any, pid: ProcessId) -> None:
+        """Attach the cluster-wide observer registry (see
+        :mod:`repro.observers`); ``pid`` is the owning process, stamped
+        onto every append/remove notification."""
+        self._observers = observers
+        self._pid = pid
 
     def append(self, entry: LogEntry) -> None:
         per_obj = self._by_object.setdefault(entry.obj_id, [])
@@ -156,8 +162,8 @@ class ProcessLog:
         self.live_bytes += size
         if self.live_bytes > self.peak_bytes:
             self.peak_bytes = self.live_bytes
-        if self.observer is not None:
-            self.observer.on_log_append(entry)
+        if self._observers is not None:
+            self._observers.on_log_append(self._pid, entry)
 
     def last_entry(self, obj_id: ObjectId) -> Optional[LogEntry]:
         per_obj = self._by_object.get(obj_id)
@@ -189,8 +195,8 @@ class ProcessLog:
         if entry in per_obj:
             per_obj.remove(entry)
         self.live_bytes -= getattr(entry, "_accounted_bytes", entry.size_bytes())
-        if self.observer is not None:
-            self.observer.on_log_remove(entry)
+        if self._observers is not None:
+            self._observers.on_log_remove(self._pid, entry)
 
     def drop_old_unreferenced(self) -> int:
         """Delete old entries with an empty threadSet; returns count."""

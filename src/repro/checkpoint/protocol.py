@@ -84,6 +84,7 @@ class DisomCheckpointProtocol(FaultToleranceProtocol):
 
     name = "disom"
     supports_recovery = True
+    emits_dummies = True
 
     def __init__(self, process: Any, policy: CheckpointPolicy) -> None:
         # ``process`` is the hosting DisomProcess; duck-typed to avoid a
@@ -109,13 +110,11 @@ class DisomCheckpointProtocol(FaultToleranceProtocol):
         #: Fingerprint of the previous checkpoint's state, used by the
         #: incremental-checkpoint extension to size the delta.
         self._ckpt_fingerprint: Optional[dict] = None
-        #: Optional verification observer (duck-typed; see
-        #: :mod:`repro.verify.invariants`).  Notified on dummy creation,
-        #: CkpSet announcements, GC drops and checkpoint restores.
-        #: Deprecated hookup point: prefer registering on
-        #: :class:`repro.observers.Observers` via
-        #: ``ClusterConfig(observers=...)``, which occupies this slot.
-        self.invariant_observer: Optional[Any] = None
+
+    def bind_observers(self, observers: Any) -> None:
+        super().bind_observers(observers)
+        # Log append/remove notifications carry this process's pid.
+        self.log.bind(observers, self.pid)
 
     # ------------------------------------------------------------------
     # shorthand
@@ -174,8 +173,8 @@ class DisomCheckpointProtocol(FaultToleranceProtocol):
         )
         self.pending_dummies.append(dummy)
         self.metrics.dummies_created += 1
-        if self.invariant_observer is not None:
-            self.invariant_observer.on_dummy_created(self.pid, dummy)
+        if self.observers is not None:
+            self.observers.on_dummy_created(self.pid, dummy)
         thread.dep_set.append(
             Dependency(obj.obj_id, acq_type, ep_acq, dep_point, self.pid, local=True)
         )
@@ -483,8 +482,8 @@ class DisomCheckpointProtocol(FaultToleranceProtocol):
             points=tuple(ExecutionPoint(tid, lt) for tid, lt in sorted(thread_lts.items())),
         )
         self.last_ckp_set = ckp_set
-        if self.invariant_observer is not None:
-            self.invariant_observer.on_ckp_set(ckp_set)
+        if self.observers is not None:
+            self.observers.on_ckp_set(ckp_set)
         if self.policy.gc_transport == "eager":
             for peer in self.process.peer_pids():
                 if peer != self.pid:
@@ -541,15 +540,15 @@ class DisomCheckpointProtocol(FaultToleranceProtocol):
 
     def apply_gc(self, ckp_set: CkpSet) -> None:
         """Receiver-side GC on a CkpSet announcement (section 4.4)."""
-        observer = self.invariant_observer
-        pairs, entries = gc_thread_sets(self.log, ckp_set, observer=observer)
+        pairs, entries = gc_thread_sets(self.log, ckp_set,
+                                        observers=self.observers)
         self.metrics.gc_threadset_pairs_dropped += pairs
         self.metrics.gc_log_entries_dropped += entries
         self.metrics.gc_dummies_dropped += gc_dummy_log(
-            self.dummy_log, ckp_set, observer=observer
+            self.dummy_log, ckp_set, observers=self.observers
         )
         self.metrics.gc_depset_entries_dropped += gc_dep_sets(
-            self.process.threads.values(), ckp_set, observer=observer
+            self.process.threads.values(), ckp_set, observers=self.observers
         )
 
     # ==================================================================
@@ -560,10 +559,10 @@ class DisomCheckpointProtocol(FaultToleranceProtocol):
         for seq in sorted(self._inflight):
             staged, _ = self._inflight.pop(seq)
             self.process.stable_store.discard(staged.pid, staged.seq)
-        if self.invariant_observer is not None:
+        if self.observers is not None:
             # log.restore() replays appends; the checker must forget this
             # process's pre-crash version history first.
-            self.invariant_observer.on_restore(self.pid)
+            self.observers.on_restore(self.pid)
         self.log.restore(checkpoint.log_entries)
         self.dummy_log.restore(checkpoint.dummy_entries)
         self.pending_dummies.clear()

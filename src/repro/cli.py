@@ -51,6 +51,7 @@ from repro.analysis.seeded import SEED_KINDS
 from repro.analysis.timeline import render_timeline
 from repro.baselines import ALL_BASELINES
 from repro.experiments import ALL_EXPERIMENTS
+from repro.memory.model import CONSISTENCY_MODELS
 from repro.verify.seeded import FAULT_KINDS
 from repro.workloads import ALL_WORKLOADS
 
@@ -91,7 +92,13 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--interval", type=float, default=40.0,
                           help="checkpoint interval (simulated time units)")
     workload.add_argument("--baseline", choices=sorted(BASELINES),
-                          default="disom")
+                          default=None,
+                          help="fault-tolerance scheme (default: disom on "
+                               "the entry backend, none otherwise)")
+    workload.add_argument("--consistency", choices=CONSISTENCY_MODELS,
+                          default="entry",
+                          help="memory consistency backend (the DiSOM "
+                               "checkpoint protocol requires 'entry')")
     workload.add_argument("--crash", type=_parse_crash, action="append",
                           default=[], metavar="PID@TIME")
     workload.add_argument("--timeline", action="store_true",
@@ -128,6 +135,11 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--store-dir", default=None, metavar="DIR",
                        help="durable on-disk checkpoint store for the "
                             "checked run")
+    check.add_argument("--consistency", choices=CONSISTENCY_MODELS,
+                       default="entry",
+                       help="memory consistency backend for the checked "
+                            "run (non-entry backends run without the "
+                            "DiSOM checkpoint protocol)")
     check.add_argument("--json", default=None, metavar="PATH",
                        help="also write the check report as JSON")
 
@@ -333,15 +345,21 @@ def cmd_workload(args: argparse.Namespace) -> int:
     from repro.api import run_workload
 
     workload = ALL_WORKLOADS[args.name]()
+    # Mirror the facade's default: disom on the entry backend, none on
+    # the others (the DiSOM checkpoint protocol is EC-only; naming it
+    # explicitly with a non-entry backend raises a precise ConfigError).
+    baseline = args.baseline
+    if baseline is None:
+        baseline = "disom" if args.consistency == "entry" else "none"
     if args.timeline:
         # The facade does not expose tracing (a CLI-only presentation
         # concern); build the system directly for the timeline case.
-        factory = ALL_BASELINES[args.baseline]()
+        factory = ALL_BASELINES[baseline]()
         system = DisomSystem(
             ClusterConfig(processes=args.processes, seed=args.seed,
                           spare_nodes=max(2, len(args.crash) + 1),
                           trace=True, store_dir=args.store_dir,
-                          check=args.check),
+                          check=args.check, consistency=args.consistency),
             CheckpointPolicy(interval=args.interval),
             protocol_factory=factory,
         )
@@ -357,7 +375,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
                 workload, processes=args.processes, seed=args.seed,
                 interval=args.interval, crashes=args.crash,
                 check=args.check, store_dir=args.store_dir,
-                baseline=args.baseline,
+                baseline=baseline, consistency=args.consistency,
             )
         except InvariantViolation as exc:
             print(f"inline verification failed: {exc}")
@@ -366,7 +384,8 @@ def cmd_workload(args: argparse.Namespace) -> int:
     if args.timeline:
         print(render_timeline(system.kernel.trace))
         print()
-    table = Table(f"{workload.describe()} on {args.baseline}",
+    table = Table(f"{workload.describe()} on {baseline} "
+                  f"({args.consistency} consistency)",
                   ["metric", "value"])
     check = workload.verify(result) if result.completed else None
     table.add_row("completed", result.completed)
@@ -409,7 +428,8 @@ def cmd_workload(args: argparse.Namespace) -> int:
     if args.json:
         summary = {
             "workload": args.name,
-            "baseline": args.baseline,
+            "baseline": baseline,
+            "consistency": args.consistency,
             "processes": args.processes,
             "seed": args.seed,
             "completed": result.completed,
@@ -465,11 +485,20 @@ def cmd_check(args: argparse.Namespace) -> int:
 
     workload = ALL_WORKLOADS[args.workload]()
     spare = max(2, len(args.crash) + 1)
+    protocol_factory = None
+    if args.consistency != "entry":
+        # The DiSOM checkpoint protocol is EC-only; checked runs on the
+        # other backends go through the no-fault-tolerance baseline.
+        from repro.baselines.noft import NullProtocol
+
+        protocol_factory = NullProtocol.factory()
     system = DisomSystem(
         ClusterConfig(processes=args.processes, seed=args.seed,
                       spare_nodes=spare, check=True,
-                      store_dir=args.store_dir),
+                      store_dir=args.store_dir,
+                      consistency=args.consistency),
         CheckpointPolicy(interval=args.interval),
+        protocol_factory=protocol_factory,
     )
     workload.setup(system)
     for pid, when in args.crash:
@@ -479,7 +508,7 @@ def cmd_check(args: argparse.Namespace) -> int:
     assert report is not None
     verified = workload.verify(result) if result.completed else None
     print(f"workload {args.workload} (processes={args.processes}, "
-          f"seed={args.seed}"
+          f"seed={args.seed}, consistency={args.consistency}"
           + "".join(f", crash {pid}@{when:g}" for pid, when in args.crash)
           + f"): completed={result.completed}, "
           f"verified={verified.ok if verified else '-'}")
@@ -498,6 +527,7 @@ def cmd_check(args: argparse.Namespace) -> int:
             "workload": args.workload,
             "processes": args.processes,
             "seed": args.seed,
+            "consistency": args.consistency,
             "lint_findings": len(findings),
             "completed": result.completed,
             "verified": verified.ok if verified else None,

@@ -60,6 +60,12 @@ class ClusterConfig:
     recovery: RecoveryTiming = field(default_factory=RecoveryTiming)
     #: Writers wait for invalidation acks (strict CREW).  Ablation A3.
     strict_invalidation_acks: bool = True
+    #: Memory consistency backend: one of
+    #: :data:`repro.memory.model.CONSISTENCY_MODELS` ("entry" is the
+    #: paper's protocol; "sequential" and "causal" are the comparison
+    #: backends of experiment E14).  The DiSOM checkpoint protocol
+    #: requires "entry"; pair the others with a baseline.
+    consistency: str = "entry"
     #: Hard horizon for a run; exceeding it raises SimulationError.
     max_time: float = 1_000_000.0
     #: Stable-storage write cost model.
@@ -80,11 +86,9 @@ class ClusterConfig:
     #: invariant checker, see :mod:`repro.verify`); implies tracing.
     check: bool = False
     #: Unified observer registry (see :mod:`repro.observers`): every
-    #: process -- including recovery hosts created mid-run -- is wired
-    #: to it, replacing the deprecated per-process hookups
-    #: (``ProcessLog.observer``, ``invariant_observer``, the gc
-    #: ``observer`` kwargs).  ``check=True`` registers the invariant
-    #: checker on the same registry, so both compose.
+    #: process -- including recovery hosts created mid-run -- binds its
+    #: protocol to it via ``bind_observers``.  ``check=True`` registers
+    #: the invariant checker on the same registry, so both compose.
     observers: Optional[Observers] = None
 
     def __post_init__(self) -> None:
@@ -96,6 +100,13 @@ class ClusterConfig:
             raise ConfigError("spare node count must be non-negative")
         if self.max_time <= 0:
             raise ConfigError("max_time must be positive")
+        from repro.memory.model import CONSISTENCY_MODELS
+
+        if self.consistency not in CONSISTENCY_MODELS:
+            raise ConfigError(
+                f"unknown consistency model {self.consistency!r}; "
+                f"one of {list(CONSISTENCY_MODELS)}"
+            )
 
     def pids(self) -> list[ProcessId]:
         return list(range(self.processes))

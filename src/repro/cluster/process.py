@@ -18,8 +18,8 @@ from repro.analysis.metrics import ProcessMetrics
 from repro.checkpoint.policy import CheckpointPolicy
 from repro.checkpoint.protocol import DisomCheckpointProtocol
 from repro.checkpoint.stable import StableStore
-from repro.errors import ProtocolError
-from repro.memory.coherence import EntryConsistencyEngine
+from repro.errors import ConfigError, ProtocolError
+from repro.memory.model import resolve_consistency
 from repro.memory.objects import ObjectDirectory, SharedObjectSpec
 from repro.net.message import Message, MessageKind, Piggyback
 from repro.net.network import Network
@@ -44,6 +44,7 @@ class DisomProcess:
         checkpoint_policy: Optional[CheckpointPolicy] = None,
         strict_invalidation_acks: bool = True,
         protocol_factory: Optional[Any] = None,
+        consistency: str = "entry",
     ) -> None:
         self.pid = pid
         self.kernel = kernel
@@ -60,7 +61,20 @@ class DisomProcess:
             self.checkpoint_protocol = DisomCheckpointProtocol(self, self.checkpoint_policy)
         else:
             self.checkpoint_protocol = protocol_factory(self)
-        self.engine = EntryConsistencyEngine(
+        engine_cls = resolve_consistency(consistency)
+        if consistency != "entry" and isinstance(
+            self.checkpoint_protocol, DisomCheckpointProtocol
+        ):
+            # The DiSOM checkpoint protocol logs entry-consistency
+            # version/dependency structure; it has no meaning on the
+            # other backends (DESIGN.md section 2.13).
+            raise ConfigError(
+                f"the DiSOM checkpoint protocol requires consistency='entry', "
+                f"got consistency={consistency!r}; select baseline='none' "
+                f"(or another baseline) to run this backend"
+            )
+        self.consistency = consistency
+        self.engine = engine_cls(
             pid=pid,
             kernel=kernel,
             directory=self.directory,
@@ -70,6 +84,7 @@ class DisomProcess:
             hooks=self.checkpoint_protocol,
             strict_invalidation_acks=strict_invalidation_acks,
         )
+        self.engine.peer_lister = self.peer_pids
         #: Set while this process is being recovered; owns replay routing.
         self.recovery_manager: Optional[Any] = None
         self.replayer: Optional[Any] = None
@@ -203,12 +218,7 @@ class DisomProcess:
                         message.src, message.piggyback.dummies, message.piggyback.ckp_sets
                     )
         kind = message.kind
-        if kind in (
-            MessageKind.ACQUIRE_REQUEST,
-            MessageKind.ACQUIRE_REPLY,
-            MessageKind.INVALIDATE,
-            MessageKind.INVALIDATE_ACK,
-        ):
+        if kind in self.engine.handled_kinds:
             self.engine.on_message(message)
         elif kind is MessageKind.DUMMY_SHIP:
             pass  # contents were in the piggyback, already consumed

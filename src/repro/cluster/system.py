@@ -184,6 +184,7 @@ class DisomSystem:
             checkpoint_policy=self.checkpoint_policy,
             strict_invalidation_acks=self.config.strict_invalidation_acks,
             protocol_factory=self.protocol_factory,
+            consistency=self.config.consistency,
         )
         self.processes[pid] = process
         process.engine.grant_gate = self.try_claim_grant

@@ -16,6 +16,7 @@ from repro.experiments.claims import (
     run_no_rollback,
     run_recovery_time,
 )
+from repro.experiments.consistency_matrix import run_consistency_matrix
 from repro.experiments.interference import run_interference
 from repro.experiments.scalability import run_scalability
 from repro.experiments.storage_faults import run_storage_faults
@@ -35,10 +36,12 @@ ALL_EXPERIMENTS = {
     "E11-scalability": run_scalability,
     "E12-interference": run_interference,
     "E13-storage-faults": run_storage_faults,
+    "E14-consistency-matrix": run_consistency_matrix,
 }
 
 __all__ = ["ALL_EXPERIMENTS", "ExperimentResult", "run_figure1",
            "run_no_extra_messages", "run_log_overhead",
            "run_coordination_overhead", "run_no_rollback", "run_theorem1",
            "run_theorem2", "run_recovery_time", "run_gc", "run_dummy_log",
-           "run_scalability", "run_storage_faults"]
+           "run_scalability", "run_storage_faults",
+           "run_consistency_matrix"]

@@ -163,6 +163,7 @@ def run_workload(
     store_dir: Optional[str] = None,
     observers=None,
     latency=None,
+    consistency: str = "entry",
 ) -> tuple[DisomSystem, RunResult]:
     """Build, run and return one configured cluster execution.
 
@@ -190,7 +191,7 @@ def run_workload(
         ClusterConfig(processes=processes, seed=effective_seed,
                       spare_nodes=spare_nodes, check=effective_check,
                       store_dir=effective_store, observers=observers,
-                      **config_extra),
+                      consistency=consistency, **config_extra),
         CheckpointPolicy(interval=interval, log_highwater=highwater,
                          gc_transport=gc_transport,
                          dummy_transport=dummy_transport),

@@ -34,16 +34,20 @@ DESIGN.md):
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.analysis.metrics import ProcessMetrics
 from repro.errors import ProtocolError
-from repro.memory.objects import ObjectDirectory, SharedObject, SharedObjectSpec
+from repro.memory.model import (
+    CoherenceHooks,
+    ConsistencyModel,
+    PendingRequest,
+)
+from repro.memory.objects import ObjectDirectory, SharedObject
 from repro.net.message import Message, MessageKind
 from repro.sim.kernel import Kernel
 from repro.threads.scheduler import ThreadScheduler
-from repro.threads.syscalls import AcquireRead, AcquireWrite, Log, Release
+from repro.threads.syscalls import Release
 from repro.threads.thread import Thread, snapshot
 from repro.types import (
     AcquireType,
@@ -56,96 +60,28 @@ from repro.types import (
     WaitObj,
 )
 
+__all__ = [
+    "CoherenceHooks",
+    "EntryConsistencyEngine",
+    "MAX_FORWARD_HOPS",
+    "PendingRequest",
+]
+
 #: Forwarding hop budget; exceeding it means a broken probOwner chain.
 MAX_FORWARD_HOPS = 10_000
 
 
-@dataclass
-class PendingRequest:
-    """An acquire request queued at (or travelling towards) the owner."""
+class EntryConsistencyEngine(ConsistencyModel):
+    """The per-process coherence protocol state machine (the reference
+    :class:`~repro.memory.model.ConsistencyModel` backend)."""
 
-    obj_id: ObjectId
-    type: AcquireType
-    p_acq: ProcessId
-    ep_acq: ExecutionPoint
-    hops: int = 0
-    #: Set when the request is from a thread of *this* process.
-    thread: Optional[Thread] = None
-
-    @property
-    def is_local(self) -> bool:
-        return self.thread is not None
-
-    def wire_payload(self) -> dict[str, Any]:
-        return {
-            "obj_id": self.obj_id,
-            "type": self.type,
-            "p_acq": self.p_acq,
-            "hops": self.hops,
-        }
-
-    def wire_control(self) -> dict[str, Any]:
-        # The checkpoint-protocol part of the request: [ep_acq] (paper 4.2
-        # step 1); accounted as piggyback bytes.
-        return {"ep_acq": self.ep_acq}
-
-
-class CoherenceHooks:
-    """Integration points for fault-tolerance protocols.  All no-ops here.
-
-    The DiSOM checkpoint protocol (:mod:`repro.checkpoint.protocol`)
-    overrides everything; baselines override subsets.
-    """
-
-    def on_object_created(self, obj: SharedObject, spec: SharedObjectSpec) -> None:
-        """Object declared at its home process (version V0 exists)."""
-
-    def on_local_acquire(
-        self,
-        thread: Thread,
-        obj: SharedObject,
-        acq_type: AcquireType,
-        ep_acq: ExecutionPoint,
-        local_dep: Optional[ExecutionPoint],
-    ) -> None:
-        """A local acquire was granted (paper 4.2, local step 1)."""
-
-    def on_remote_grant(self, obj: SharedObject, req: PendingRequest) -> dict[str, Any]:
-        """The owner granted a remote request; returns the reply's
-        checkpoint-control fields (paper 4.2 step 2: ``[ep_prd, version]``)."""
-        return {}
-
-    def on_reply_received(
-        self,
-        thread: Thread,
-        obj: SharedObject,
-        acq_type: AcquireType,
-        ep_acq: ExecutionPoint,
-        p_prd: ProcessId,
-        control: dict[str, Any],
-    ) -> None:
-        """The requester processed an acquire reply (paper 4.2 step 3)."""
-
-    def on_release_write(self, thread: Thread, obj: SharedObject) -> None:
-        """A release-write produced a new version (paper 4.2 step 4)."""
-
-    def on_before_grant_data(self, obj: SharedObject, req: PendingRequest) -> None:
-        """Called just before the owner ships object data to another
-        process.  The Janssens-Fuchs baseline checkpoints here ("a process
-        is checkpointed exactly before its updates become visible")."""
-
-    def on_ownership_installed(self, obj: SharedObject,
-                               ep_acq: ExecutionPoint) -> None:
-        """Ownership of a version produced elsewhere was installed while
-        the object remains grantable (a write acquire deferred behind
-        sibling readers): the protocol may need to materialize state for
-        the new owner (DiSOM synthesizes the last version's log entry).
-        ``ep_acq`` is the deferred local write acquire that will supersede
-        the installed version once the sibling readers release."""
-
-
-class EntryConsistencyEngine:
-    """The per-process coherence protocol state machine."""
+    name = "entry"
+    handled_kinds = frozenset({
+        MessageKind.ACQUIRE_REQUEST,
+        MessageKind.ACQUIRE_REPLY,
+        MessageKind.INVALIDATE,
+        MessageKind.INVALIDATE_ACK,
+    })
 
     def __init__(
         self,
@@ -158,30 +94,16 @@ class EntryConsistencyEngine:
         hooks: Optional[CoherenceHooks] = None,
         strict_invalidation_acks: bool = True,
     ) -> None:
-        self.pid = pid
-        self.kernel = kernel
-        self.directory = directory
-        self.scheduler = scheduler
-        self.metrics = metrics
-        self.send_message = send_message
-        self.hooks = hooks if hooks is not None else CoherenceHooks()
-        self.strict_invalidation_acks = strict_invalidation_acks
-        #: Cluster-wide grant-once guard (set by the system): called with
-        #: the acquire ep before granting; returns False when the acquire
-        #: was already granted somewhere, in which case the (re-issued
-        #: duplicate) request is discarded.  This realizes the paper's
-        #: "duplicate requests are detected and discarded by the memory
-        #: coherence protocol" (section 4.3.1 step 5); see DESIGN.md.
-        self.grant_gate: Callable[[ExecutionPoint, ProcessId], bool] = (
-            lambda ep, pid: True
+        super().__init__(
+            pid=pid,
+            kernel=kernel,
+            directory=directory,
+            scheduler=scheduler,
+            metrics=metrics,
+            send_message=send_message,
+            hooks=hooks,
+            strict_invalidation_acks=strict_invalidation_acks,
         )
-        #: Observer of completed acquires (set by the system): called with
-        #: (tid, lt, obj_id, version, type).  Keyed by (tid, lt), so a
-        #: re-executed acquire after recovery overwrites its rolled-back
-        #: ancestor -- the recorded history is the *final* execution,
-        #: checkable against the paper's section-3.1 definition.
-        self.acquire_observer: Callable[..., None] = lambda *args: None
-
         #: FIFO queues of conflicting requests, per object (owner side).
         self._queues: dict[ObjectId, deque[PendingRequest]] = {}
         #: Dedup bookkeeping: for each object, eps we have queued/granted.
@@ -201,18 +123,6 @@ class EntryConsistencyEngine:
         #: Object ids with a pending local *write* request (awaiting
         #: ownership); incoming requests for them are queued, not forwarded.
         self._awaiting_ownership: set[ObjectId] = set()
-        #: Crashed processes we must not grant to (failure detector input).
-        self._known_crashed: set[ProcessId] = set()
-        #: Objects gated during recovery replay (set by the replayer).
-        self.blocked_objects: set[ObjectId] = set()
-        self._barrier_waiters: dict[ObjectId, list[tuple[Thread, Any]]] = {}
-        #: When False, incoming coherence messages are buffered (recovery).
-        self.accepting = True
-        self._buffered: list[Message] = []
-        #: Gate for post-replay threads: while True, normal-mode acquires
-        #: by local threads are deferred until recovery fully completes.
-        self.hold_normal_acquires = False
-        self._held_acquires: list[tuple[Thread, Any]] = []
 
     # ==================================================================
     # syscall entry points (called by the process / scheduler handler)
@@ -283,38 +193,6 @@ class EntryConsistencyEngine:
         self._maybe_finish_pending_local_write(obj)
         self._process_queue(obj)
         self.scheduler.complete(thread, None)
-
-    # ==================================================================
-    # memory-event tracing (verification layer input)
-    # ==================================================================
-    def emit_mem_event(
-        self,
-        kind: str,
-        tid: Tid,
-        lt: int,
-        obj: SharedObject,
-        mode: AcquireType,
-        *,
-        local: bool = False,
-        replayed: bool = False,
-    ) -> None:
-        """Emit one "mem" trace record: the event stream consumed by the
-        entry-consistency race detector (:mod:`repro.verify.races`).
-
-        Every record carries the accessed object id *and* the guarding
-        sync object id so the detector never has to re-derive the
-        object-to-guard association from context.
-        """
-        trace = self.kernel.trace
-        if not trace.enabled:
-            return
-        trace.emit(
-            self.kernel.now, "mem",
-            f"{kind} {obj.obj_id} {mode} t{tid.pid}.{tid.local}@{lt}",
-            kind=kind, pid=self.pid, tid=tid, lt=lt, obj=obj.obj_id,
-            sync=obj.guard_id, mode=mode.value, version=obj.version,
-            local=local, replayed=replayed,
-        )
 
     # ==================================================================
     # local acquires (paper 4.2, local-acquire steps)
@@ -417,12 +295,6 @@ class EntryConsistencyEngine:
             self._on_invalidate_ack(message)
         else:
             raise ProtocolError(f"{self.pid}: unexpected coherence message {message}")
-
-    def flush_buffered(self) -> None:
-        """Process messages buffered during recovery, in arrival order."""
-        buffered, self._buffered = self._buffered, []
-        for message in buffered:
-            self.on_message(message)
 
     # ------------------------------------------------------------------
     def _on_request(self, message: Message) -> None:
@@ -792,36 +664,9 @@ class EntryConsistencyEngine:
                 self._process_queue(obj)
 
     # ==================================================================
-    # recovery support hooks (used by repro.checkpoint.recovery/replay)
+    # recovery support hooks (used by repro.checkpoint.recovery/replay;
+    # mode switching / barrier plumbing is inherited from the base)
     # ==================================================================
-    def enter_recovery_mode(self) -> None:
-        self.accepting = False
-
-    def exit_recovery_mode(self) -> None:
-        self.accepting = True
-        self.flush_buffered()
-
-    def release_barrier(self, obj_id: ObjectId) -> None:
-        """Replay finished installing versions of ``obj_id``; re-admit
-        acquires that were deferred at the barrier."""
-        self.blocked_objects.discard(obj_id)
-        waiters = self._barrier_waiters.pop(obj_id, [])
-        for thread, syscall in waiters:
-            # Re-admit through the process-level handler so replay
-            # progress tracking observes the outcome.
-            self.kernel.call_soon(self.scheduler.handler.handle_acquire,
-                                  thread, syscall,
-                                  label=f"barrier-release {obj_id}")
-
-    def release_held_acquires(self) -> None:
-        """Recovery fully completed: admit held normal-mode acquires."""
-        self.hold_normal_acquires = False
-        held, self._held_acquires = self._held_acquires, []
-        for thread, syscall in held:
-            self.kernel.call_soon(self.scheduler.handler.handle_acquire,
-                                  thread, syscall,
-                                  label="recovery-release-acquire")
-
     def note_crashed(self, pid: ProcessId) -> None:
         """Failure detector: purge queued requests from the dead process."""
         self._known_crashed.add(pid)

@@ -1,0 +1,339 @@
+"""Home-based lock-manager machinery shared by the non-EC backends.
+
+The sequential and causal backends both follow the SC-ABD shape
+(Ekström & Haridi, arXiv 1608.02442): every shared object has a fixed
+*home* process (its :class:`~repro.memory.objects.SharedObjectSpec`
+``home``), the home serializes CREW admission through a lock table, and
+writes are propagated to the replicas instead of migrating ownership.
+Ownership therefore never moves -- the home stays ``OWNED`` for the
+whole run and every other process holds at most a ``READ`` replica,
+which keeps the system-level quiescence invariants
+(:meth:`repro.cluster.system.DisomSystem.check_invariants`) meaningful
+across consistency models.
+
+What differs between the two backends is only the write-release
+propagation policy, expressed as the abstract hooks at the bottom of
+:class:`HomeLockEngine`:
+
+* sequential: write-through -- the release blocks until every replica
+  acknowledged the update (see :mod:`repro.memory.sequential`);
+* causal: asynchronous vector-clock-gated updates -- the release
+  completes immediately (see :mod:`repro.memory.causal`).
+
+Neither backend implements the DiSOM recovery machinery; they inherit
+the inert recovery surface from :class:`ConsistencyModel` and are used
+for failure-free runs and abort-on-crash baselines.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, ClassVar, Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.memory.model import ConsistencyModel, PendingRequest
+from repro.memory.objects import SharedObject
+from repro.net.message import Message, MessageKind
+from repro.threads.syscalls import Release
+from repro.threads.thread import Thread, snapshot
+from repro.types import (
+    AcquireType,
+    ExecutionPoint,
+    ObjectId,
+    ObjectStatus,
+    ProcessId,
+    WaitObj,
+)
+
+
+class HomeLockEngine(ConsistencyModel):
+    """Shared home-process lock manager for the non-EC backends."""
+
+    #: Wire vocabulary of the admission protocol; set by each subclass to
+    #: its own :class:`MessageKind` members so traffic is attributable.
+    K_ACQUIRE: ClassVar[MessageKind]
+    K_GRANT: ClassVar[MessageKind]
+    K_RELEASE: ClassVar[MessageKind]
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        #: Home-side lock table: current writer per object (exclusive).
+        self._lock_writer: Dict[ObjectId, ProcessId] = {}
+        #: Home-side lock table: read-hold counts per object per process.
+        self._lock_readers: Dict[ObjectId, Dict[ProcessId, int]] = {}
+        #: Home-side FIFO of requests the lock cannot admit yet.
+        self._lock_queue: Dict[ObjectId, "deque[PendingRequest]"] = {}
+
+    # ==================================================================
+    # syscall entry points
+    # ==================================================================
+    def handle_acquire(self, thread: Thread, syscall: Any) -> None:
+        if not self.scheduler.alive:
+            return
+        obj_id = syscall.obj_id
+        acq_type = syscall.type
+        if obj_id in self.blocked_objects:
+            self._barrier_waiters.setdefault(obj_id, []).append((thread, syscall))
+            return
+        if self.hold_normal_acquires:
+            self._held_acquires.append((thread, syscall))
+            return
+        obj = self.directory.get(obj_id)
+        thread.check_can_acquire(obj_id)
+        thread.tick()
+        thread.acquire_pending = True
+        ep_acq = thread.current_ep()
+        thread.wait_obj = WaitObj(obj_id, acq_type, ep_acq)
+
+        req = PendingRequest(obj_id, acq_type, self.pid, ep_acq, thread=thread)
+        home = obj.prob_owner
+        if home == self.pid:
+            self._home_admit(obj, req)
+        else:
+            self.metrics.remote_acquires += 1
+            self.send_message(
+                self.K_ACQUIRE, home, req.wire_payload(), req.wire_control()
+            )
+
+    def handle_release(self, thread: Thread, syscall: Release) -> None:
+        obj_id = syscall.obj_id
+        mode = thread.check_can_release(obj_id)
+        obj = self.directory.get(obj_id)
+        value = syscall.value if syscall.has_value else thread.acquired_values.get(obj_id)
+        thread.note_released(obj_id)
+        obj.note_released(thread.tid)
+
+        if mode.is_write:
+            obj.data = snapshot(value)
+            obj.version += 1
+            obj.ep_dep = thread.current_ep()
+            self.metrics.release_writes += 1
+            self.hooks.on_release_write(thread, obj)
+            self.emit_mem_event("write", thread.tid, thread.lt, obj, mode)
+            # The backend propagates the write and owns the release
+            # completion (SC blocks on replica acks; causal completes now).
+            self._propagate_write_release(thread, obj, mode)
+        else:
+            self.metrics.release_reads += 1
+            self.emit_mem_event("release", thread.tid, thread.lt, obj, mode)
+            home = obj.prob_owner
+            if home == self.pid:
+                self._lock_release_read(obj, self.pid)
+            else:
+                self.send_message(
+                    self.K_RELEASE,
+                    home,
+                    {"obj_id": obj_id, "write": False, "p_rel": self.pid},
+                    None,
+                )
+            self.scheduler.complete(thread, None)
+
+    # ==================================================================
+    # home-side lock manager
+    # ==================================================================
+    def _home_admit(self, obj: SharedObject, req: PendingRequest) -> None:
+        if obj.status is not ObjectStatus.OWNED or obj.prob_owner != self.pid:
+            raise ProtocolError(
+                f"{self.pid}: home-lock request for {req.obj_id} at non-home "
+                f"(status={obj.status})"
+            )
+        queue = self._lock_queue.get(req.obj_id)
+        if queue or not self._lock_compatible(req):
+            self._lock_queue.setdefault(req.obj_id, deque()).append(req)
+            self.metrics.queued_requests += 1
+        else:
+            self._lock_grant(obj, req)
+
+    def _lock_compatible(self, req: PendingRequest) -> bool:
+        if req.obj_id in self._lock_writer:
+            return False
+        if req.type.is_write:
+            return not self._lock_readers.get(req.obj_id)
+        return True
+
+    def _lock_grant(self, obj: SharedObject, req: PendingRequest) -> None:
+        if not self.grant_gate(req.ep_acq, self.pid):
+            self.metrics.duplicate_requests_discarded += 1
+            return
+        if req.type.is_write:
+            self._lock_writer[req.obj_id] = req.p_acq
+        else:
+            readers = self._lock_readers.setdefault(req.obj_id, {})
+            readers[req.p_acq] = readers.get(req.p_acq, 0) + 1
+        if req.is_local:
+            assert req.thread is not None
+            self._admit_local(req.thread, obj, req.type, req.ep_acq)
+        else:
+            self._grant_remote(obj, req)
+
+    def _lock_release_read(self, obj: SharedObject, pid: ProcessId) -> None:
+        readers = self._lock_readers.get(obj.obj_id)
+        if readers:
+            count = readers.get(pid, 0) - 1
+            if count > 0:
+                readers[pid] = count
+            else:
+                readers.pop(pid, None)
+            if not readers:
+                self._lock_readers.pop(obj.obj_id, None)
+        self._pump_lock_queue(obj)
+
+    def _lock_release_write(self, obj: SharedObject, pid: ProcessId) -> None:
+        self._lock_writer.pop(obj.obj_id, None)
+        self._pump_lock_queue(obj)
+
+    def _pump_lock_queue(self, obj: SharedObject) -> None:
+        """Grant whatever the lock now admits, in FIFO order."""
+        queue = self._lock_queue.get(obj.obj_id)
+        while queue:
+            head = queue[0]
+            if not self._lock_compatible(head):
+                break
+            queue.popleft()
+            self._lock_grant(obj, head)
+            if head.type.is_write:
+                break  # an exclusive grant ends the batch
+        if queue is not None and not queue:
+            self._lock_queue.pop(obj.obj_id, None)
+
+    # ==================================================================
+    # grant paths
+    # ==================================================================
+    def _admit_local(
+        self,
+        thread: Thread,
+        obj: SharedObject,
+        acq_type: AcquireType,
+        ep_acq: ExecutionPoint,
+    ) -> None:
+        local_dep = obj.ep_dep
+        self.hooks.on_local_acquire(thread, obj, acq_type, ep_acq, local_dep)
+        self.metrics.local_acquires += 1
+        self._complete_acquire(thread, obj, acq_type, ep_acq, local=True)
+
+    def _grant_remote(self, obj: SharedObject, req: PendingRequest) -> None:
+        self.hooks.on_before_grant_data(obj, req)
+        control = dict(self.hooks.on_remote_grant(obj, req))
+        control["version"] = obj.version
+        control["ep_acq"] = req.ep_acq
+        self._grant_control_extra(obj, control)
+        self.metrics.grants += 1
+        obj.copy_set.add(req.p_acq)
+        payload: Dict[str, Any] = {
+            "obj_id": obj.obj_id,
+            "type": req.type,
+            "obj_data": snapshot(obj.data),
+            "p_prd": self.pid,
+        }
+        self.send_message(self.K_GRANT, req.p_acq, payload, control)
+
+    def _complete_acquire(
+        self,
+        thread: Thread,
+        obj: SharedObject,
+        acq_type: AcquireType,
+        ep_acq: ExecutionPoint,
+        *,
+        local: bool,
+    ) -> None:
+        obj.ep_dep = ep_acq
+        obj.note_held(thread.tid, acq_type)
+        value = snapshot(obj.data)
+        thread.note_acquired(obj.obj_id, acq_type, value)
+        thread.wait_obj = None
+        self.acquire_observer(thread.tid, ep_acq.lt, obj.obj_id, obj.version,
+                              acq_type)
+        self.emit_mem_event("acquire", thread.tid, ep_acq.lt, obj, acq_type,
+                            local=local)
+        if acq_type.is_read:
+            self.emit_mem_event("read", thread.tid, ep_acq.lt, obj, acq_type,
+                                local=local)
+        self.scheduler.complete(thread, value)
+
+    # ==================================================================
+    # shared message handlers (subclass on_message chains dispatch here)
+    # ==================================================================
+    def _on_acquire_msg(self, message: Message) -> None:
+        payload = message.payload
+        control = message.piggyback.control if message.piggyback else {}
+        req = PendingRequest(
+            obj_id=payload["obj_id"],
+            type=payload["type"],
+            p_acq=payload["p_acq"],
+            ep_acq=control["ep_acq"],
+            hops=payload["hops"],
+        )
+        if req.p_acq in self._known_crashed:
+            return
+        obj = self.directory.get(req.obj_id)
+        self._home_admit(obj, req)
+
+    def _on_grant(self, message: Message) -> None:
+        payload = message.payload
+        control = message.piggyback.control if message.piggyback else {}
+        ep_acq: ExecutionPoint = control["ep_acq"]
+        acq_type: AcquireType = payload["type"]
+        thread = self.scheduler.threads.get(ep_acq.tid)
+        if (
+            thread is None
+            or thread.wait_obj is None
+            or thread.wait_obj.ep_acq != ep_acq
+        ):
+            self.metrics.duplicate_requests_discarded += 1
+            return
+        obj = self.directory.get(payload["obj_id"])
+        version: int = control["version"]
+        if version >= obj.version:
+            obj.data = snapshot(payload["obj_data"])
+            obj.version = version
+            if obj.status is not ObjectStatus.OWNED:
+                obj.status = ObjectStatus.READ
+        self._note_granted_state(obj, control)
+        self.hooks.on_reply_received(
+            thread, obj, acq_type, ep_acq, payload["p_prd"], control
+        )
+        self._complete_acquire(thread, obj, acq_type, ep_acq, local=False)
+
+    def _on_release_msg(self, message: Message) -> None:
+        payload = message.payload
+        obj = self.directory.get(payload["obj_id"])
+        if payload["write"]:
+            self._home_apply_write(obj, payload)
+        else:
+            self._lock_release_read(obj, payload["p_rel"])
+
+    # ==================================================================
+    # replica-set helpers
+    # ==================================================================
+    def _replica_targets(self, exclude: Tuple[ProcessId, ...]) -> List[ProcessId]:
+        skip = set(exclude)
+        skip.add(self.pid)
+        skip.update(self._known_crashed)
+        return [p for p in self.peer_lister() if p not in skip]
+
+    # ==================================================================
+    # backend policy hooks
+    # ==================================================================
+    def _propagate_write_release(
+        self, thread: Thread, obj: SharedObject, mode: AcquireType
+    ) -> None:
+        """Ship the new version produced by ``thread`` and complete the
+        release (immediately or once the backend's protocol allows)."""
+        raise NotImplementedError
+
+    def _home_apply_write(self, obj: SharedObject, payload: Dict[str, Any]) -> None:
+        """Home side of a remote write release: install the version and
+        drive the backend's replication protocol."""
+        raise NotImplementedError
+
+    def _grant_control_extra(self, obj: SharedObject, control: Dict[str, Any]) -> None:
+        """Backend-specific fields added to a remote grant's control part."""
+
+    def _note_granted_state(self, obj: SharedObject, control: Dict[str, Any]) -> None:
+        """Requester-side counterpart of :meth:`_grant_control_extra`."""
+
+    # ==================================================================
+    # introspection
+    # ==================================================================
+    def queue_length(self, obj_id: ObjectId) -> int:
+        return len(self._lock_queue.get(obj_id, ()))

@@ -1,0 +1,219 @@
+"""Sequential-consistency backend (SC-ABD style write-through).
+
+Follows the shape of Ekström & Haridi's fault-tolerant sequentially
+consistent DSM (arXiv 1608.02442), adapted to this repository's
+home-lock machinery (:mod:`repro.memory.homelock`): the object's home
+serializes CREW admission, reads are served from the replicated copy
+shipped with the grant, and every release-write is **write-through** --
+the home broadcasts the new version to every replica and the writer's
+release does not complete until every replica has acknowledged it
+(the two-phase write of ABD, collapsed onto the simulator's reliable
+but asynchronous links).
+
+This is deliberately the expensive end of the consistency spectrum the
+paper positions entry consistency against: each write costs a broadcast
+plus a full round of acks on the critical path, where EC ships data at
+most once per remote acquire and repeated writes at the owner are free.
+Experiment E14 (:mod:`repro.experiments.consistency_matrix`) measures
+exactly this gap.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.memory.homelock import HomeLockEngine
+from repro.memory.objects import SharedObject
+from repro.net.message import Message, MessageKind
+from repro.threads.thread import Thread, snapshot
+from repro.types import AcquireType, ObjectId, ObjectStatus, ProcessId, Tid
+
+__all__ = ["SequentialConsistencyEngine"]
+
+
+class SequentialConsistencyEngine(HomeLockEngine):
+    """Home-lock CREW admission + acknowledged write-through replication."""
+
+    name = "sequential"
+    handled_kinds = frozenset({
+        MessageKind.SC_ACQUIRE,
+        MessageKind.SC_GRANT,
+        MessageKind.SC_RELEASE,
+        MessageKind.SC_RELEASE_DONE,
+        MessageKind.SC_UPDATE,
+        MessageKind.SC_UPDATE_ACK,
+    })
+    K_ACQUIRE = MessageKind.SC_ACQUIRE
+    K_GRANT = MessageKind.SC_GRANT
+    K_RELEASE = MessageKind.SC_RELEASE
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        #: Home side: one in-flight write-through round per object (the
+        #: write lock stays held until it completes, so never more).
+        #: obj -> {"waiting": pids, "writer": pid, "done_to", "completion"}.
+        self._pending_updates: Dict[ObjectId, Dict[str, Any]] = {}
+        #: Writer side: releases blocked on the home's SC_RELEASE_DONE.
+        self._await_done: Dict[Tuple[ObjectId, Tid], Thread] = {}
+
+    # ==================================================================
+    # message dispatch
+    # ==================================================================
+    def on_message(self, message: Message) -> None:
+        if not self.accepting:
+            self._buffered.append(message)
+            return
+        kind = message.kind
+        if kind is MessageKind.SC_ACQUIRE:
+            self._on_acquire_msg(message)
+        elif kind is MessageKind.SC_GRANT:
+            self._on_grant(message)
+        elif kind is MessageKind.SC_RELEASE:
+            self._on_release_msg(message)
+        elif kind is MessageKind.SC_RELEASE_DONE:
+            self._on_release_done(message)
+        elif kind is MessageKind.SC_UPDATE:
+            self._on_update(message)
+        elif kind is MessageKind.SC_UPDATE_ACK:
+            self._on_update_ack(message)
+        else:
+            raise ProtocolError(f"{self.pid}: unexpected SC message {message}")
+
+    # ==================================================================
+    # write-release propagation (writer side)
+    # ==================================================================
+    def _propagate_write_release(
+        self, thread: Thread, obj: SharedObject, mode: AcquireType
+    ) -> None:
+        home = obj.prob_owner
+        if home == self.pid:
+            self._finish_home_write(obj, writer_pid=self.pid, completion=thread)
+        else:
+            self._await_done[(obj.obj_id, thread.tid)] = thread
+            self.send_message(
+                MessageKind.SC_RELEASE,
+                home,
+                {
+                    "obj_id": obj.obj_id,
+                    "write": True,
+                    "p_rel": self.pid,
+                    "tid": thread.tid,
+                    "version": obj.version,
+                    "obj_data": snapshot(obj.data),
+                },
+                None,
+            )
+
+    def _on_release_done(self, message: Message) -> None:
+        payload = message.payload
+        thread = self._await_done.pop((payload["obj_id"], payload["tid"]), None)
+        if thread is None:
+            return
+        obj = self.directory.get(payload["obj_id"])
+        self.emit_mem_event("release", thread.tid, thread.lt, obj,
+                            AcquireType.WRITE)
+        self.scheduler.complete(thread, None)
+
+    # ==================================================================
+    # write-through round (home side)
+    # ==================================================================
+    def _home_apply_write(self, obj: SharedObject, payload: Dict[str, Any]) -> None:
+        obj.data = snapshot(payload["obj_data"])
+        obj.version = payload["version"]
+        self._finish_home_write(
+            obj,
+            writer_pid=payload["p_rel"],
+            done_to=(payload["p_rel"], payload["tid"]),
+        )
+
+    def _finish_home_write(
+        self,
+        obj: SharedObject,
+        writer_pid: ProcessId,
+        done_to: Optional[Tuple[ProcessId, Tid]] = None,
+        completion: Optional[Thread] = None,
+    ) -> None:
+        targets = self._replica_targets(exclude=(writer_pid,))
+        obj.copy_set.update(targets)
+        if writer_pid != self.pid:
+            # The writer keeps its (freshly written) replica.
+            obj.copy_set.add(writer_pid)
+        if not targets:
+            self._write_through_done(obj, writer_pid, done_to, completion)
+            return
+        self._pending_updates[obj.obj_id] = {
+            "waiting": set(targets),
+            "writer": writer_pid,
+            "done_to": done_to,
+            "completion": completion,
+        }
+        for pid in targets:
+            self.send_message(
+                MessageKind.SC_UPDATE,
+                pid,
+                {
+                    "obj_id": obj.obj_id,
+                    "version": obj.version,
+                    "obj_data": snapshot(obj.data),
+                },
+                None,
+            )
+
+    def _on_update(self, message: Message) -> None:
+        payload = message.payload
+        obj = self.directory.get(payload["obj_id"])
+        if payload["version"] > obj.version:
+            obj.data = snapshot(payload["obj_data"])
+            obj.version = payload["version"]
+        if obj.status is ObjectStatus.NO_ACCESS:
+            obj.status = ObjectStatus.READ
+        self.send_message(
+            MessageKind.SC_UPDATE_ACK,
+            message.src,
+            {"obj_id": obj.obj_id, "from": self.pid,
+             "version": payload["version"]},
+            None,
+        )
+
+    def _on_update_ack(self, message: Message) -> None:
+        payload = message.payload
+        obj_id = payload["obj_id"]
+        pending = self._pending_updates.get(obj_id)
+        if pending is None:
+            return
+        pending["waiting"].discard(payload["from"])
+        if pending["waiting"]:
+            return
+        del self._pending_updates[obj_id]
+        obj = self.directory.get(obj_id)
+        self._write_through_done(
+            obj, pending["writer"], pending["done_to"], pending["completion"]
+        )
+
+    def _write_through_done(
+        self,
+        obj: SharedObject,
+        writer_pid: ProcessId,
+        done_to: Optional[Tuple[ProcessId, Tid]],
+        completion: Optional[Thread],
+    ) -> None:
+        if done_to is not None:
+            p_rel, tid = done_to
+            self.send_message(
+                MessageKind.SC_RELEASE_DONE,
+                p_rel,
+                {"obj_id": obj.obj_id, "tid": tid},
+                None,
+            )
+        if completion is not None:
+            self.emit_mem_event("release", completion.tid, completion.lt, obj,
+                                AcquireType.WRITE)
+            self.scheduler.complete(completion, None)
+        self._lock_release_write(obj, writer_pid)
+
+    # ==================================================================
+    # introspection
+    # ==================================================================
+    def has_pending_acks(self) -> bool:
+        return bool(self._pending_updates or self._await_done)

@@ -45,6 +45,22 @@ class MessageKind(enum.Enum):
     COORD_CKPT_COMMIT = "coord-ckpt-commit"
     COORD_CKPT_ACK = "coord-ckpt-ack"
 
+    # -- sequential-consistency backend (SC-ABD style home lock +
+    #    write-through replication; see memory/sequential.py) -------------
+    SC_ACQUIRE = "sc-acquire"
+    SC_GRANT = "sc-grant"
+    SC_RELEASE = "sc-release"
+    SC_RELEASE_DONE = "sc-release-done"
+    SC_UPDATE = "sc-update"
+    SC_UPDATE_ACK = "sc-update-ack"
+
+    # -- causal-consistency backend (vector-clock gated update
+    #    propagation; see memory/causal.py) ------------------------------
+    CAUSAL_ACQUIRE = "causal-acquire"
+    CAUSAL_GRANT = "causal-grant"
+    CAUSAL_RELEASE = "causal-release"
+    CAUSAL_UPDATE = "causal-update"
+
     # -- generic application / test traffic; delivered to raw network
     #    sinks (perf benches, tests), never through Process.deliver ------
     APP = "app"  # analyze: allow(handler-coverage)
@@ -76,6 +92,16 @@ _KIND_LAYER = {
     MessageKind.COORD_CKPT_READY: LAYER_CHECKPOINT,
     MessageKind.COORD_CKPT_COMMIT: LAYER_CHECKPOINT,
     MessageKind.COORD_CKPT_ACK: LAYER_CHECKPOINT,
+    MessageKind.SC_ACQUIRE: LAYER_COHERENCE,
+    MessageKind.SC_GRANT: LAYER_COHERENCE,
+    MessageKind.SC_RELEASE: LAYER_COHERENCE,
+    MessageKind.SC_RELEASE_DONE: LAYER_COHERENCE,
+    MessageKind.SC_UPDATE: LAYER_COHERENCE,
+    MessageKind.SC_UPDATE_ACK: LAYER_COHERENCE,
+    MessageKind.CAUSAL_ACQUIRE: LAYER_COHERENCE,
+    MessageKind.CAUSAL_GRANT: LAYER_COHERENCE,
+    MessageKind.CAUSAL_RELEASE: LAYER_COHERENCE,
+    MessageKind.CAUSAL_UPDATE: LAYER_COHERENCE,
     MessageKind.APP: LAYER_APP,
 }
 

@@ -1,27 +1,16 @@
 """Unified protocol observation: one registration object, many listeners.
 
-Historically the verification layer hooked into the protocol through
-three ad-hoc points, each wired by hand per process:
-
-* ``ProcessLog.observer`` -- pid-less append/remove notifications,
-  requiring a per-process adapter to re-attach the pid;
-* ``DisomCheckpointProtocol.invariant_observer`` -- dummy creation,
-  CkpSet announcements and checkpoint restores;
-* the ``observer`` keyword arguments of :mod:`repro.checkpoint.gc` --
-  GC drop notifications (routed through ``invariant_observer``).
-
-:class:`Observers` collapses them: build one, register any number of
-listeners on it, and hand it to the cluster via
-``ClusterConfig(observers=...)``.  The system wires every process --
-including recovery hosts created mid-run -- to the same instance, which
-fans each notification out to every listener that implements the
-corresponding method (listeners are duck-typed; unimplemented callbacks
-are simply skipped).
-
-The old hookup points still function as deprecated shims -- ``Observers``
-occupies them rather than replacing them -- so existing code that sets
-``log.observer`` or ``protocol.invariant_observer`` directly keeps
-working, but new code should register here instead.
+:class:`Observers` is the single hookup point for protocol observation:
+build one, register any number of listeners on it, and hand it to the
+cluster via ``ClusterConfig(observers=...)``.  The system wires every
+process -- including recovery hosts created mid-run -- to the same
+instance through
+:meth:`~repro.baselines.base.FaultToleranceProtocol.bind_observers`,
+which each scheme extends to connect its own stores (the DiSOM protocol
+binds its :class:`~repro.checkpoint.log.ProcessLog` so append/remove
+notifications arrive pid-stamped).  The registry fans each notification
+out to every listener that implements the corresponding method
+(listeners are duck-typed; unimplemented callbacks are simply skipped).
 
 Listener surface (all optional)::
 
@@ -55,27 +44,6 @@ CALLBACK_NAMES = (
     "on_gc_dep_drop",
     "on_recovery_phase",
 )
-
-
-class _BoundLogObserver:
-    """Adapter presenting the pid-less ``ProcessLog.observer`` protocol.
-
-    ``ProcessLog`` does not know which process owns it; the system binds
-    one of these per process so log notifications reach the registry
-    with the pid attached.
-    """
-
-    __slots__ = ("observers", "pid")
-
-    def __init__(self, observers: "Observers", pid: int) -> None:
-        self.observers = observers
-        self.pid = pid
-
-    def on_log_append(self, entry: Any) -> None:
-        self.observers.on_log_append(self.pid, entry)
-
-    def on_log_remove(self, entry: Any) -> None:
-        self.observers.on_log_remove(self.pid, entry)
 
 
 class Observers:
@@ -126,26 +94,19 @@ class Observers:
     # ------------------------------------------------------------------
     # wiring
     # ------------------------------------------------------------------
-    def bind_log(self, pid: int) -> _BoundLogObserver:
-        """Adapter for the pid-less ``ProcessLog.observer`` slot."""
-        return _BoundLogObserver(self, pid)
-
     def attach_to(self, process: Any) -> None:
-        """Occupy ``process``'s legacy observer slots with this registry.
+        """Bind ``process``'s protocol to this registry.
 
-        Safe on any process-like object: slots the protocol does not
-        expose (the baselines have no ``invariant_observer``) are left
-        alone.  Idempotent -- re-attaching replaces the previous binding
-        with an equivalent one.
+        Safe on any process-like object: every
+        :class:`~repro.baselines.base.FaultToleranceProtocol` accepts
+        the registry via ``bind_observers``, and schemes wire whatever
+        stores they own (baselines have none).  Idempotent --
+        re-attaching replaces the previous binding.
         """
         protocol = getattr(process, "checkpoint_protocol", None)
         if protocol is None:
             return
-        log = getattr(protocol, "log", None)
-        if log is not None and hasattr(log, "observer"):
-            log.observer = self.bind_log(process.pid)
-        if hasattr(protocol, "invariant_observer"):
-            protocol.invariant_observer = self
+        protocol.bind_observers(self)
 
     # ------------------------------------------------------------------
     # dispatch surface (mirrors the listener surface, pid-aware)

@@ -31,15 +31,15 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.fingerprint import canonical_json, config_fingerprint
+from repro.memory.model import CONSISTENCY_MODELS
 
 #: Response document schema identifier (surfaced in bodies + /version).
 SCHEMA = "repro-scenario/v1"
 
-#: Consistency models the simulator implements.  The coherence layer is
-#: entry-consistency (the paper's model); the registry exists so
-#: requests declare what they assume and get a 400 -- not silently
-#: wrong semantics -- when a future model is requested before it lands.
-CONSISTENCY_MODELS = ("entry",)
+# CONSISTENCY_MODELS (re-exported above) is the live coherence-backend
+# registry (:mod:`repro.memory.model`): "entry" (the paper's model),
+# "sequential" and "causal".  Requests declare what they assume and get
+# a 400 -- not silently wrong semantics -- for an unimplemented model.
 
 _KINDS = ("workload", "experiment")
 
@@ -203,7 +203,13 @@ def validate_scenario(document: Mapping[str, Any]) -> ScenarioSpec:
         raise ConfigError(
             f"unknown workload {workload!r}; one of {sorted(ALL_WORKLOADS)}"
         )
-    baseline = _require(document, "baseline", (str,), "disom")
+    # The DiSOM default only makes sense on the entry backend (its
+    # checkpoint protocol is EC-only); the other backends default to
+    # running without fault tolerance.  An *explicit* "disom" with a
+    # non-entry model is rejected at process construction (ConfigError
+    # -> 400), keeping wrong combinations loud.
+    default_baseline = "disom" if consistency == "entry" else "none"
+    baseline = _require(document, "baseline", (str,), default_baseline)
     if baseline not in ALL_BASELINES:
         raise ConfigError(
             f"unknown baseline {baseline!r}; one of {sorted(ALL_BASELINES)}"
@@ -324,6 +330,7 @@ def _run_workload_scenario(spec: ScenarioSpec) -> Dict[str, Any]:
             workload, processes=spec.processes, seed=spec.seed,
             interval=spec.interval, crashes=spec.crashes,
             check=spec.check, baseline=spec.baseline,
+            consistency=spec.consistency,
             highwater=spec.highwater,
             latency=dict(spec.latency) if spec.latency else None,
         )

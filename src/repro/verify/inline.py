@@ -31,7 +31,7 @@ from typing import Any, List, Optional, Set
 from repro.errors import InvariantViolation
 from repro.sim.tracing import TraceRecord
 from repro.types import ProcessId
-from repro.verify.invariants import InvariantChecker, ProcessLogObserver
+from repro.verify.invariants import InvariantChecker
 from repro.verify.races import RaceDetector, RaceFinding
 
 
@@ -95,7 +95,7 @@ class InlineVerifier:
         self.checker = InvariantChecker(trace=trace, strict=strict)
         self.overhead_seconds = 0.0
         self._pending_recovery_sweep = False
-        #: Pids whose protocol exposes the DiSOM observation points;
+        #: Pids whose protocol records dummy entries (``emits_dummies``);
         #: baselines create no dummies, so only these are subject to
         #: the dummy-coverage pass.
         self._dummy_pids: Set[ProcessId] = set()
@@ -103,11 +103,9 @@ class InlineVerifier:
         trace.sink = self._on_record
         system.verifier = self
         # The checker rides the system's unified observer registry (see
-        # repro.observers); systems predating it fall back to direct
-        # per-process wiring inside attach_process.
-        self._observers = getattr(system, "observers", None)
-        if self._observers is not None:
-            self._observers.register(self.checker)
+        # repro.observers), which attach_process binds to each protocol.
+        self._observers = system.observers
+        self._observers.register(self.checker)
         for pid in sorted(system.processes):
             self.attach_process(system.processes[pid])
         system.network.drained_hooks.append(self._on_drained)
@@ -123,15 +121,8 @@ class InlineVerifier:
         # longer applies.
         self.checker.on_restore(process.pid)
         protocol = process.checkpoint_protocol
-        if self._observers is not None:
-            self._observers.attach_to(process)
-        else:  # pragma: no cover - legacy direct wiring
-            log = getattr(protocol, "log", None)
-            if log is not None and hasattr(log, "observer"):
-                log.observer = ProcessLogObserver(self.checker, process.pid)
-            if hasattr(protocol, "invariant_observer"):
-                protocol.invariant_observer = self.checker
-        if hasattr(protocol, "invariant_observer"):
+        self._observers.attach_to(process)
+        if protocol.emits_dummies:
             self._dummy_pids.add(process.pid)
 
     # ------------------------------------------------------------------

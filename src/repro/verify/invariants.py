@@ -1,8 +1,8 @@
 """Online protocol invariant checker.
 
-An :class:`InvariantChecker` instance hooks into the checkpoint
-protocol's observation points (``ProcessLog.observer`` and
-``DisomCheckpointProtocol.invariant_observer``) and validates, while the
+An :class:`InvariantChecker` instance registers on the cluster's
+unified :class:`~repro.observers.Observers` registry (which every
+protocol binds via ``bind_observers``) and validates, while the
 simulation runs:
 
 * **log-version-monotonic** -- versions appended to a process's log for
@@ -45,24 +45,6 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 SLICE_LEN = 16
 
 
-class ProcessLogObserver:
-    """Adapter binding a process id to the checker for ``ProcessLog``.
-
-    ``ProcessLog`` does not know which process it belongs to; this
-    wrapper forwards its append/remove notifications with the pid.
-    """
-
-    def __init__(self, checker: "InvariantChecker", pid: ProcessId) -> None:
-        self.checker = checker
-        self.pid = pid
-
-    def on_log_append(self, entry: "LogEntry") -> None:
-        self.checker.on_log_append(self.pid, entry)
-
-    def on_log_remove(self, entry: "LogEntry") -> None:
-        self.checker.on_log_remove(self.pid, entry)
-
-
 class InvariantChecker:
     """Collects protocol observations and validates the invariants."""
 
@@ -95,7 +77,7 @@ class InvariantChecker:
         self.violations.append(violation)
 
     # ------------------------------------------------------------------
-    # ProcessLog observer (via ProcessLogObserver)
+    # ProcessLog notifications (pid-stamped by ProcessLog.bind)
     # ------------------------------------------------------------------
     def on_log_append(self, pid: ProcessId, entry: "LogEntry") -> None:
         key = (pid, entry.obj_id)
@@ -121,7 +103,7 @@ class InvariantChecker:
             del self._log_heads[key]
 
     # ------------------------------------------------------------------
-    # protocol observer (DisomCheckpointProtocol.invariant_observer)
+    # protocol notifications (DisomCheckpointProtocol.observers)
     # ------------------------------------------------------------------
     def on_dummy_created(self, pid: ProcessId, dummy: "DummyEntry") -> None:
         self._dummy_eps.add(dummy.ep_acq)

@@ -80,7 +80,9 @@ def seeded_gc_unsafe() -> List[InvariantViolation]:
     checker.on_ckp_set(CkpSet(pid=1, seq=1,
                               points=(ExecutionPoint(Tid(1, 0), 5),)))
     forged = CkpSet(pid=1, seq=2, points=(ExecutionPoint(Tid(1, 0), 100),))
-    gc_thread_sets(log, forged, observer=checker)
+    from repro.observers import Observers
+
+    gc_thread_sets(log, forged, observers=Observers(checker))
     return checker.violations
 
 

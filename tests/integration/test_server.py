@@ -175,7 +175,7 @@ def test_version_and_registry_documents(server, client):
     assert "synthetic" in registry["workloads"]
     assert "disom" in registry["baselines"]
     assert "E1-figure1" in registry["experiments"]
-    assert registry["consistency_models"] == ["entry"]
+    assert registry["consistency_models"] == ["entry", "sequential", "causal"]
 
 
 def test_metrics_document_shape(client):

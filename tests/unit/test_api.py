@@ -154,25 +154,21 @@ class TestObservers:
         observers.on_restore(0)
         observers.on_gc_dummy_drop("dummy", "ckp")
 
-    def test_bound_log_adapter_reattaches_pid(self):
-        recorder = _Recorder()
-        observers = Observers(recorder)
-        adapter = observers.bind_log(7)
-        adapter.on_log_append("entry")
-        assert recorder.appends == [(7, "entry")]
-
-    def test_attach_to_occupies_legacy_slots(self):
+    def test_attach_to_binds_protocol_and_log(self):
         system = DisomSystem(
             ClusterConfig(processes=2, seed=1),
             CheckpointPolicy(interval=30.0),
         )
         system.add_object("x", initial=0, home=0)
-        observers = Observers()
+        recorder = _Recorder()
+        observers = Observers(recorder)
         process = system.processes[0]
         observers.attach_to(process)
-        assert process.checkpoint_protocol.invariant_observer is observers
-        assert (process.checkpoint_protocol.log.observer.observers
-                is observers)
+        protocol = process.checkpoint_protocol
+        assert protocol.observers is observers
+        # The protocol's ProcessLog now reports pid-stamped appends.
+        system.add_object("y", initial=0, home=0)
+        assert recorder.appends and recorder.appends[-1][0] == 0
 
     def test_wired_through_cluster_config(self):
         recorder = _Recorder()

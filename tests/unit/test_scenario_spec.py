@@ -45,9 +45,30 @@ def test_unknown_param_rejected():
 
 
 def test_unknown_consistency_model_rejected():
-    with pytest.raises(ConfigError, match="not implemented"):
+    # The 400 message enumerates the live backend registry.
+    with pytest.raises(ConfigError,
+                       match=r"entry.*sequential.*causal"):
         validate_scenario({"workload": "synthetic",
-                           "consistency": "sequential"})
+                           "consistency": "release"})
+
+
+def test_registered_consistency_models_accepted():
+    for model in ("entry", "sequential", "causal"):
+        spec = validate_scenario({"workload": "synthetic",
+                                  "consistency": model})
+        assert spec.consistency == model
+
+
+def test_non_entry_consistency_defaults_to_no_fault_tolerance():
+    spec = validate_scenario({"workload": "synthetic",
+                              "consistency": "sequential"})
+    assert spec.baseline == "none"
+    entry = validate_scenario({"workload": "synthetic"})
+    assert entry.baseline == "disom"
+    explicit = validate_scenario({"workload": "synthetic",
+                                  "consistency": "causal",
+                                  "baseline": "coordinated"})
+    assert explicit.baseline == "coordinated"
 
 
 def test_bad_kind_rejected():

@@ -7,9 +7,10 @@ from repro.checkpoint.gc import gc_thread_sets
 from repro.checkpoint.log import LogEntry, ProcessLog
 from repro.checkpoint.policy import CkpSet
 from repro.errors import InvariantViolation
+from repro.observers import Observers
 from repro.sim.tracing import TraceLog
 from repro.types import AcquireType, ExecutionPoint, Tid
-from repro.verify.invariants import InvariantChecker, ProcessLogObserver
+from repro.verify.invariants import InvariantChecker
 from repro.verify.seeded import (
     seeded_dummy_chain,
     seeded_gc_unsafe,
@@ -61,21 +62,10 @@ class TestLogMonotonicity:
         assert [v.rule for v in checker.violations] == [
             "log-version-monotonic"]
 
-    def test_observer_adapter_binds_pid(self):
-        # ProcessLog itself rejects duplicate versions, so drive the
-        # adapter directly to check the pid binding.
-        checker = InvariantChecker(strict=False)
-        observer = ProcessLogObserver(checker, 7)
-        observer.on_log_append(make_entry(version=1))
-        observer.on_log_append(make_entry(version=1, lt=4))
-        assert [v.rule for v in checker.violations] == [
-            "log-version-monotonic"]
-        assert "P7" in checker.violations[0].detail
-
-    def test_observer_fires_through_process_log(self):
+    def test_bound_log_stamps_pid_on_notifications(self):
         checker = InvariantChecker(strict=False)
         log = ProcessLog()
-        log.observer = ProcessLogObserver(checker, 3)
+        log.bind(Observers(checker), 3)
         log.append(make_entry(version=1))
         log.append(make_entry(version=2, lt=4))
         assert checker._log_heads[(3, "x")] == 2
@@ -93,7 +83,7 @@ class TestGcSafety:
         ckp_set = CkpSet(pid=1, seq=1,
                          points=(ExecutionPoint(Tid(1, 0), 10),))
         checker.on_ckp_set(ckp_set)
-        gc_thread_sets(log, ckp_set, observer=checker)
+        gc_thread_sets(log, ckp_set, observers=Observers(checker))
         assert checker.violations == []
 
     def test_forged_ckpset_flagged(self):
@@ -121,7 +111,7 @@ class TestGcSafety:
         gc_thread_sets(log,
                        CkpSet(pid=1, seq=1,
                               points=(ExecutionPoint(Tid(1, 0), 10),)),
-                       observer=checker)
+                       observers=Observers(checker))
         assert checker.violations == []
 
 
