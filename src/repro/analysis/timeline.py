@@ -54,7 +54,7 @@ def extract_events(
 ) -> list[TimelineEvent]:
     wanted = set(categories)
     events = []
-    for record in trace.records:
+    for record in trace.iter_records():
         if record.category not in wanted:
             continue
         match = _PID_RE.search(record.message)

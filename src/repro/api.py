@@ -23,7 +23,7 @@ for the knobs the CLI exposes (``seed``, ``check``, ``store_dir``).
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence, Union
+from typing import Any, Dict, Optional, Sequence, Union
 
 from repro.cluster.system import DisomSystem, RunResult
 from repro.errors import ConfigError
@@ -162,6 +162,7 @@ def run_bench(
     baseline: Optional[Any] = None,
     progress: Optional[Any] = None,
     jobs: int = 1,
+    profile_sink: Optional[Dict[str, str]] = None,
 ) -> Any:
     """Run the perf suite and return a :class:`~repro.perf.BenchReport`.
 
@@ -170,12 +171,15 @@ def run_bench(
     so the result carries speedup-vs-baseline columns.  ``jobs`` fans
     the (benchmark, repeat) cells out over worker processes, with
     per-worker calibration keeping the normalized numbers comparable.
+    ``profile_sink`` (a dict) runs every benchmark under cProfile and
+    collects per-benchmark hotspot text (see
+    :func:`repro.perf.bench.run_suite`); it forces a serial run.
     """
     from repro.perf import make_report, run_suite
 
     records = run_suite(quick=quick, seed=seed, repeats=repeats, only=only,
                         store_dir=store_dir, check=check, progress=progress,
-                        jobs=jobs)
+                        jobs=jobs, profile_sink=profile_sink)
     return make_report(records, mode="quick" if quick else "full", seed=seed,
                        baseline=baseline)
 

@@ -20,7 +20,7 @@ from typing import Any, Callable
 from repro.baselines.base import FaultToleranceProtocol
 from repro.memory.coherence import PendingRequest
 from repro.memory.objects import SharedObject
-from repro.net.sizing import payload_size
+from repro.net.sizing import blob_size
 from repro.threads.thread import Thread
 
 
@@ -46,7 +46,7 @@ class JanssensFuchsProtocol(FaultToleranceProtocol):
         if not self._dirty_since_checkpoint:
             return
         # Checkpoint exactly before our updates become visible elsewhere.
-        size = payload_size(self.process.directory.snapshot()) + payload_size(
+        size = blob_size(self.process.directory.snapshot()) + blob_size(
             {tid: t.checkpoint_state() for tid, t in self.process.threads.items()}
         )
         self.induced_checkpoints += 1

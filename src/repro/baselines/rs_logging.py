@@ -22,7 +22,7 @@ from typing import Any, Callable, Optional
 from repro.baselines.base import FaultToleranceProtocol
 from repro.memory.coherence import PendingRequest
 from repro.memory.objects import SharedObject
-from repro.net.sizing import payload_size
+from repro.net.sizing import blob_size, payload_size
 from repro.threads.thread import Thread
 from repro.types import AcquireType, ExecutionPoint, ProcessId
 
@@ -108,7 +108,7 @@ class RichardSinghalProtocol(FaultToleranceProtocol):
         self._timer = None
         if not self.process.alive:
             return
-        size = payload_size(self.process.directory.snapshot()) + payload_size(
+        size = blob_size(self.process.directory.snapshot()) + blob_size(
             {tid: t.checkpoint_state() for tid, t in self.process.threads.items()}
         )
         self.metrics.checkpoints.record(self.process.kernel.now, size, "periodic")

@@ -13,9 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Iterator, Optional
 
+from repro.net.sizing import register_sized_type
 from repro.types import AcquireType, ExecutionPoint, ObjectId, ProcessId
 
 
+@register_sized_type
 @dataclass(frozen=True, slots=True)
 class DummyEntry:
     """Figure 5: ``objId, epAcq, localDep, Plog``.

@@ -41,18 +41,31 @@ def gc_thread_sets(log: ProcessLog, ckp_set: CkpSet,
     justifying the drop, so GC safety can be checked online.
     """
     lts = ckp_set.lts_by_tid()
+    lts_get = lts.get
     pairs_removed = 0
     for entry in log:
+        # Fast scan first: most entries have nothing to drop, and the
+        # rebuild below allocates.  ``ep_acq.lt < lts[tid]`` is the drop
+        # condition from section 4.4 (acquire before the checkpoint).
+        thread_set = entry.thread_set
+        dirty = False
+        for pair in thread_set:
+            ckpt_lt = lts_get(pair.ep_acq.tid)
+            if ckpt_lt is not None and pair.ep_acq.lt < ckpt_lt:
+                dirty = True
+                break
+        if not dirty:
+            continue
         kept = []
-        for pair in entry.thread_set:
-            ckpt_lt = lts.get(pair.ep_acq.tid)
+        for pair in thread_set:
+            ckpt_lt = lts_get(pair.ep_acq.tid)
             if ckpt_lt is not None and pair.ep_acq.lt < ckpt_lt:
                 pairs_removed += 1
                 if observers is not None:
                     observers.on_gc_pair_drop(entry, pair, ckp_set)
             else:
                 kept.append(pair)
-        entry.thread_set[:] = kept
+        thread_set[:] = kept
     entries_removed = log.drop_old_unreferenced()
     return pairs_removed, entries_removed
 
@@ -74,13 +87,25 @@ def gc_dep_sets(threads: Iterable[Thread], ckp_set: CkpSet,
                 observers: Optional[Any] = None) -> int:
     """Drop depSet entries with ``ep_prd`` before the producer's checkpoint."""
     lts = ckp_set.lts_by_tid()
+    lts_get = lts.get
+    ckp_pid = ckp_set.pid
     removed = 0
     for thread in threads:
+        dep_set = thread.dep_set
+        dirty = False
+        for dep in dep_set:
+            ckpt_lt = lts_get(dep.ep_prd.tid)
+            if (dep.ep_prd.tid.pid == ckp_pid and ckpt_lt is not None
+                    and dep.ep_prd.lt < ckpt_lt):
+                dirty = True
+                break
+        if not dirty:
+            continue
         kept = []
-        for dep in thread.dep_set:
-            ckpt_lt = lts.get(dep.ep_prd.tid)
+        for dep in dep_set:
+            ckpt_lt = lts_get(dep.ep_prd.tid)
             if (
-                dep.ep_prd.tid.pid == ckp_set.pid
+                dep.ep_prd.tid.pid == ckp_pid
                 and ckpt_lt is not None
                 and dep.ep_prd.lt < ckpt_lt
             ):
@@ -89,7 +114,7 @@ def gc_dep_sets(threads: Iterable[Thread], ckp_set: CkpSet,
                     observers.on_gc_dep_drop(thread.tid, dep, ckp_set)
             else:
                 kept.append(dep)
-        thread.dep_set[:] = kept
+        dep_set[:] = kept
     return removed
 
 

@@ -9,11 +9,11 @@ workstation clusters makes that sufficient for single-failure recovery.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
 from repro.errors import ProtocolError
+from repro.threads.thread import snapshot as _pristine
 from repro.net.sizing import payload_size
 from repro.types import ExecutionPoint, ObjectId, ProcessId, Tid
 
@@ -78,7 +78,7 @@ class LogEntry:
         self.thread_set.append(ThreadSetPair(ep_acq, ep_prd))
 
     def data_copy(self) -> Any:
-        return copy.deepcopy(self.obj_data)
+        return _pristine(self.obj_data)
 
     def size_bytes(self) -> int:
         """Approximate memory footprint: data plus bookkeeping.
@@ -96,7 +96,7 @@ class LogEntry:
         cloned = LogEntry(
             obj_id=self.obj_id,
             version=self.version,
-            obj_data=copy.deepcopy(self.obj_data),
+            obj_data=_pristine(self.obj_data),
             tid_prd=self.tid_prd,
             next_owner=self.next_owner,
             thread_set=list(self.thread_set),

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import ConfigError
+from repro.net.sizing import register_sized_type
 from repro.types import ExecutionPoint, ProcessId, Tid
 
 
@@ -62,6 +63,7 @@ class CheckpointPolicy:
         return self.log_highwater is not None and log_bytes > self.log_highwater
 
 
+@register_sized_type
 @dataclass(frozen=True)
 class CkpSet:
     """The set of thread execution points at a checkpoint (sections 4.3/4.4).
@@ -81,7 +83,23 @@ class CkpSet:
         return None
 
     def lts_by_tid(self) -> dict[Tid, int]:
-        return {point.tid: point.lt for point in self.points}
+        """Checkpoint logical time per tid, memoized (the instance is
+        frozen and every GC scan against this CkpSet needs the map)."""
+        cached = self.__dict__.get("_lts")
+        if cached is None:
+            cached = {point.tid: point.lt for point in self.points}
+            object.__setattr__(self, "_lts", cached)
+        return cached
+
+    # Fast pickle path (see repro.types.Tid.__getstate__): also keeps the
+    # ``_lts`` memo out of pickles and out of the wire-size model.
+    def __getstate__(self) -> list:
+        return [self.pid, self.seq, self.points]
+
+    def __setstate__(self, state: list) -> None:
+        object.__setattr__(self, "pid", state[0])
+        object.__setattr__(self, "seq", state[1])
+        object.__setattr__(self, "points", state[2])
 
     def __str__(self) -> str:
         pts = ",".join(str(p) for p in self.points)

@@ -31,6 +31,7 @@ from repro.errors import ProtocolError
 from repro.memory.coherence import PendingRequest
 from repro.memory.objects import SharedObject, SharedObjectSpec
 from repro.net.message import MessageKind
+from repro.sim.tracing import TRACE_GATE
 from repro.threads.thread import Thread, snapshot
 from repro.types import (
     AcquireType,
@@ -47,11 +48,11 @@ def pseudo_tid(pid: ProcessId) -> Tid:
     Version V0 exists from creation (section 3.1); its producer is not a
     real thread, so grants of V0 use this sentinel with logical time 0.
     """
-    return Tid(pid, -1)
+    return Tid.of(pid, -1)
 
 
 def pseudo_ep(pid: ProcessId) -> ExecutionPoint:
-    return ExecutionPoint(pseudo_tid(pid), 0)
+    return ExecutionPoint.of(pseudo_tid(pid), 0)
 
 
 def is_pseudo(point: ExecutionPoint) -> bool:
@@ -75,7 +76,7 @@ def make_ownership_entry(pid: ProcessId, obj_id: str, version: int,
         version=version,
         obj_data=data,
         tid_prd=pseudo_tid(pid),
-        ep_release=ExecutionPoint(pseudo_tid(pid), version),
+        ep_release=ExecutionPoint.of(pseudo_tid(pid), version),
     )
 
 
@@ -404,9 +405,11 @@ class DisomCheckpointProtocol(FaultToleranceProtocol):
             checkpoint.compute_size(delta_bytes=self._incremental_delta(checkpoint))
         duration = self.process.stable_store.begin_save(checkpoint)
         self.metrics.checkpoints.record(kernel.now, checkpoint.size, trigger)
-        kernel.trace.emit(kernel.now, "checkpoint",
-                          f"P{self.pid} checkpoint #{self.ckpt_seq} ({trigger})",
-                          bytes=checkpoint.size)
+        if TRACE_GATE.active:
+            kernel.trace.emit(kernel.now, "checkpoint",
+                              f"P{self.pid} checkpoint #{self.ckpt_seq} "
+                              f"({trigger})",
+                              bytes=checkpoint.size)
         if synchronous:
             self._commit_checkpoint(checkpoint, thread_lts)
         else:
@@ -454,10 +457,12 @@ class DisomCheckpointProtocol(FaultToleranceProtocol):
             # The write never became durable (injected storage fault).
             # Skipping GC and the CkpSet broadcast keeps every structure
             # the *previous* checkpoint needs for recovery.
-            self.process.kernel.trace.emit(
-                self.process.kernel.now, "checkpoint",
-                f"P{self.pid} checkpoint #{checkpoint.seq} lost before commit",
-            )
+            if TRACE_GATE.active:
+                self.process.kernel.trace.emit(
+                    self.process.kernel.now, "checkpoint",
+                    f"P{self.pid} checkpoint #{checkpoint.seq} "
+                    "lost before commit",
+                )
             return
 
         # -- local garbage collection (section 4.4) ----------------------
@@ -479,7 +484,8 @@ class DisomCheckpointProtocol(FaultToleranceProtocol):
         ckp_set = CkpSet(
             pid=self.pid,
             seq=checkpoint.seq,
-            points=tuple(ExecutionPoint(tid, lt) for tid, lt in sorted(thread_lts.items())),
+            points=tuple(ExecutionPoint.of(tid, lt)
+                         for tid, lt in sorted(thread_lts.items())),
         )
         self.last_ckp_set = ckp_set
         if self.observers is not None:
@@ -624,9 +630,11 @@ class DisomCheckpointProtocol(FaultToleranceProtocol):
         } - {self.pid}
         if entry.copy_set_at_grant is not None:
             obj.copy_set |= set(entry.copy_set_at_grant) - {self.pid}
-        self.process.kernel.trace.emit(
-            self.process.kernel.now, "recovery",
-            f"P{self.pid} reclaimed ownership of {entry.obj_id} v{entry.version}",
-        )
+        if TRACE_GATE.active:
+            self.process.kernel.trace.emit(
+                self.process.kernel.now, "recovery",
+                f"P{self.pid} reclaimed ownership of "
+                f"{entry.obj_id} v{entry.version}",
+            )
         # Requests for the object may have queued while nobody owned it.
         self.process.engine._process_queue(obj)

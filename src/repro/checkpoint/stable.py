@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.errors import CheckpointCorruptError, RecoveryError
-from repro.net.sizing import payload_size
+from repro.net.sizing import blob_size, payload_size
 from repro.types import ProcessId
 
 
@@ -55,11 +55,28 @@ class Checkpoint:
     def compute_size(self, delta_bytes: Optional[int] = None) -> int:
         """Size the image: ``full_size`` is always the materialized image;
         ``size`` (bytes written) is the delta when one is given --
-        incremental checkpoints write less than recovery must read."""
+        incremental checkpoints write less than recovery must read.
+
+        Each section is sized the cheapest correct way.  Thread and dummy
+        sections go through the compositional wire-size model
+        (:func:`payload_size`): their elements -- replay records,
+        dependencies, execution points -- are immutable and
+        identity-cached, so re-sizing a grown image only pays for what is
+        new.  The log section sums each entry's own ``size_bytes`` (log
+        entries mutate their threadSet, so per-entry accounting is the
+        one that stays correct).  The object section is costed as a
+        serialized blob (:func:`blob_size`): object snapshots are fresh
+        deep copies every time, so nothing caches and one C-speed
+        serialization beats the Python walk.
+        """
+        log_bytes = 8
+        for entry in self.log_entries:
+            size_of = getattr(entry, "size_bytes", None)
+            log_bytes += size_of() if size_of is not None else payload_size(entry)
         self.full_size = (
             payload_size(self.threads)
-            + payload_size(self.objects)
-            + payload_size(self.log_entries)
+            + blob_size(self.objects)
+            + log_bytes
             + payload_size(self.dummy_entries)
         )
         if delta_bytes is None:

@@ -223,6 +223,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--store-dir", default=None, metavar="DIR",
                        help="durable checkpoint store for workload "
                             "benchmarks (measures the on-disk write path)")
+    bench.add_argument("--profile", action="store_true",
+                       help="run each benchmark under cProfile and write "
+                            "the top cumulative hotspots next to the JSON "
+                            "report (forces a serial run; wall numbers "
+                            "include profiler overhead)")
     bench.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes for benchmark repeats "
                             "(0 = one per CPU; wall-clock is normalized "
@@ -627,6 +632,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     baseline_report = None
     if args.against:
         baseline_report = load_report(args.against)
+    profile_sink = {} if args.profile else None
     report = run_bench(
         quick=args.quick,
         seed=args.seed,
@@ -637,8 +643,17 @@ def cmd_bench(args: argparse.Namespace) -> int:
         baseline=baseline_report.as_dict() if baseline_report else None,
         progress=lambda name: print(f"  bench {name} ..."),
         jobs=args.jobs,
+        profile_sink=profile_sink,
     )
     write_report(report, args.json)
+    if profile_sink is not None:
+        import os
+
+        profile_path = os.path.splitext(args.json)[0] + ".profile.txt"
+        with open(profile_path, "w") as handle:
+            for name, text in profile_sink.items():
+                handle.write(f"==== {name} ====\n{text}\n")
+        print(f"profiles written to {profile_path}")
 
     table = Table(f"bench ({report.mode}, seed={report.seed}, "
                   f"rev={report.git_rev})",

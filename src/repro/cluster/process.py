@@ -24,6 +24,7 @@ from repro.memory.objects import ObjectDirectory, SharedObjectSpec
 from repro.net.message import Message, MessageKind, Piggyback
 from repro.net.network import Network
 from repro.sim.kernel import Kernel
+from repro.sim.tracing import TRACE_GATE
 from repro.threads.program import Program
 from repro.threads.scheduler import ThreadScheduler
 from repro.threads.syscalls import Log, Release
@@ -98,7 +99,7 @@ class DisomProcess:
         self.engine.hooks.on_object_created(obj, spec)
 
     def spawn_thread(self, program: Program) -> Thread:
-        tid = Tid(self.pid, self._next_local_thread)
+        tid = Tid.of(self.pid, self._next_local_thread)
         self._next_local_thread += 1
         stream_name = f"thread/{tid.pid}.{tid.local}"
         rng = self.kernel.rng
@@ -146,13 +147,17 @@ class DisomProcess:
             self.replayer.after_event()
 
     def handle_log(self, thread: Thread, syscall: Log) -> None:
-        self.kernel.trace.emit(
-            self.kernel.now, "app", f"{thread.tid}: {syscall.message}", **syscall.fields
-        )
+        if TRACE_GATE.active:
+            self.kernel.trace.emit(
+                self.kernel.now, "app", f"{thread.tid}: {syscall.message}",
+                **syscall.fields
+            )
         self.scheduler.complete(thread, None)
 
     def on_thread_done(self, thread: Thread) -> None:
-        self.kernel.trace.emit(self.kernel.now, "thread", f"{thread.tid} finished")
+        if TRACE_GATE.active:
+            self.kernel.trace.emit(self.kernel.now, "thread",
+                                   f"{thread.tid} finished")
         if self.replayer is not None:
             self.replayer.after_event()
         self.system.note_thread_event()

@@ -55,6 +55,7 @@ from repro.errors import ConfigError
 from repro.memory.objects import ObjectDirectory, SharedObject, SharedObjectSpec
 from repro.net.message import Message, MessageKind
 from repro.sim.kernel import Kernel
+from repro.sim.tracing import TRACE_GATE
 from repro.threads.scheduler import ThreadScheduler
 from repro.threads.thread import Thread
 from repro.types import (
@@ -69,13 +70,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.threads.syscalls import Release
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingRequest:
     """An acquire request queued at (or travelling towards) its server.
 
     Under entry consistency the server is the current owner at the end
     of the probOwner chain; under the home-based backends it is the
-    object's home process.
+    object's home process.  Slotted: one is allocated per remote acquire,
+    and slot access keeps the grant path's attribute reads cheap.
     """
 
     obj_id: ObjectId
@@ -272,6 +274,8 @@ class ConsistencyModel:
         sync object id so the detector never has to re-derive the
         object-to-guard association from context.
         """
+        if not TRACE_GATE.active:
+            return
         trace = self.kernel.trace
         if not trace.enabled:
             return

@@ -11,12 +11,12 @@ uses to decide whether a request can be granted.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
 from repro.errors import ProtocolError
 from repro.net.sizing import payload_size
+from repro.threads.thread import snapshot as _pristine
 from repro.types import (
     AcquireType,
     ExecutionPoint,
@@ -41,7 +41,7 @@ class SharedObjectSpec:
     home: ProcessId = 0
 
     def initial_copy(self) -> Any:
-        return copy.deepcopy(self.initial)
+        return _pristine(self.initial)
 
 
 class SharedObject:
@@ -157,7 +157,7 @@ class SharedObject:
             "status": self.status,
             "copy_set": set(self.copy_set),
             "ep_dep": self.ep_dep,
-            "data": copy.deepcopy(self.data),
+            "data": _pristine(self.data),
             "local_readers": set(self.local_readers),
             "local_writer": self.local_writer,
         }
@@ -168,7 +168,7 @@ class SharedObject:
         self.status = snap["status"]
         self.copy_set = set(snap["copy_set"])
         self.ep_dep = snap["ep_dep"]
-        self.data = copy.deepcopy(snap["data"])
+        self.data = _pristine(snap["data"])
         self.local_readers = set(snap["local_readers"])
         self.local_writer = snap["local_writer"]
         self.pending_invalidate_from = None

@@ -22,6 +22,11 @@ from repro.types import ProcessId
 class MessageKind(enum.Enum):
     """All message kinds used by the protocols in this repository."""
 
+    # Enum's default __hash__ is a Python-level function over the member
+    # name; kinds key the per-send stats counters, so use the C-speed
+    # identity hash (members are singletons -- identity is equality).
+    __hash__ = object.__hash__
+
     # -- entry-consistency coherence protocol (paper section 4.2) --------
     ACQUIRE_REQUEST = "acquire-request"
     ACQUIRE_REPLY = "acquire-reply"
@@ -132,12 +137,17 @@ class Piggyback:
         return not self.control and not self.dummies and not self.ckp_sets
 
     def size(self) -> int:
+        if not self.control and not self.dummies and not self.ckp_sets:
+            return _EMPTY_PIGGYBACK_BYTES
         return (
             payload_size(self.control)
             + payload_size(self.dummies)
             + payload_size(self.ckp_sets)
         )
 
+
+#: Size of a piggyback carrying nothing -- the common case, precomputed.
+_EMPTY_PIGGYBACK_BYTES = payload_size({}) + 2 * payload_size([])
 
 _msg_counter = itertools.count(1)
 

@@ -21,6 +21,7 @@ from repro.net.channel import Channel, LatencyModel
 from repro.net.message import Message
 from repro.net.stats import NetworkStats
 from repro.sim.kernel import Kernel
+from repro.sim.tracing import TRACE_GATE
 from repro.types import ProcessId
 
 
@@ -135,9 +136,9 @@ class Network:
         when = channel.delivery_time(now, message)
         self.in_flight += 1
         kernel.queue.push(when, self._deliver, (message,), message.kind.value)
-        trace = kernel.trace
-        if trace.enabled:
-            trace.emit(now, "net", f"send {message}", bytes=message.total_bytes())
+        if TRACE_GATE.active:
+            kernel.trace.emit(now, "net", f"send {message}",
+                              bytes=message.total_bytes())
 
     def broadcast(self, src: ProcessId, make_message: Callable[[ProcessId], Message]) -> int:
         """Logical broadcast: send one message to every other registered process.
@@ -157,15 +158,15 @@ class Network:
 
     def _deliver(self, message: Message) -> None:
         self.in_flight -= 1
-        trace = self.kernel.trace
         endpoint = self._endpoints.get(message.dst)
         if endpoint is None or message.dst in self._crashed:
             self.stats.record_drop(message)
-            if trace.enabled:
-                trace.emit(self.kernel.now, "net", f"drop {message} (dst crashed)")
+            if TRACE_GATE.active:
+                self.kernel.trace.emit(self.kernel.now, "net",
+                                       f"drop {message} (dst crashed)")
         else:
-            if trace.enabled:
-                trace.emit(self.kernel.now, "net", f"recv {message}")
+            if TRACE_GATE.active:
+                self.kernel.trace.emit(self.kernel.now, "net", f"recv {message}")
             endpoint.deliver(message)
         if self.in_flight == 0:
             for hook in self.drained_hooks:

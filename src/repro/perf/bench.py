@@ -154,7 +154,7 @@ def bench_trace_disabled(quick: bool, seed: int, repeats: int,
         emit = trace.emit
         for i in range(n):
             emit(float(i), "bench", "tick", index=i)
-        assert not trace.records
+        assert len(trace) == 0
 
     return BenchRecord(
         name="micro_trace_disabled", kind="micro",
@@ -193,48 +193,128 @@ def bench_log_append(quick: bool, seed: int, repeats: int,
 
 
 # ----------------------------------------------------------------------
+# intern / batching micro-benchmarks (the PR's hot-path state changes)
+# ----------------------------------------------------------------------
+@_bench("micro_object_intern")
+def bench_object_intern(quick: bool, seed: int, repeats: int,
+                        **_: object) -> BenchRecord:
+    """Hit the Tid/ExecutionPoint/VersionId intern caches N times.
+
+    Rotates over a small key set (the steady-state shape: a cluster has
+    a fixed population of tids and a slowly growing set of execution
+    points), so almost every ``of()`` call is a cache hit.  Guards the
+    interned-constructor fast path and the cached-hash lookups behind it.
+    """
+    from repro.types import ExecutionPoint, Tid, VersionId
+
+    n = 20_000 if quick else 200_000
+
+    def body() -> None:
+        tid_of = Tid.of
+        ep_of = ExecutionPoint.of
+        vid_of = VersionId.of
+        for i in range(n):
+            tid = tid_of(i & 15, i & 3)
+            ep_of(tid, i & 63)
+            vid_of("obj", (i & 31) + 1)
+        assert tid_of(3, 1) is tid_of(3, 1)
+
+    return BenchRecord(
+        name="micro_object_intern", kind="micro",
+        wall_seconds=_best_of(repeats, body),
+        events=n, seed=seed, params={"n": n},
+    )
+
+
+@_bench("micro_batch_dispatch")
+def bench_batch_dispatch(quick: bool, seed: int, repeats: int,
+                         **_: object) -> BenchRecord:
+    """Dispatch N events arriving in same-timestamp batches.
+
+    Complements ``micro_kernel_dispatch`` (spread timestamps): here
+    events cluster at identical times, exercising the kernel's batched
+    same-time pop path that the big-cluster fast path leans on.
+    """
+    from repro.sim.kernel import Kernel
+
+    n = 20_000 if quick else 200_000
+    batch = 64
+
+    def body() -> None:
+        kernel = Kernel(seed=seed)
+        sink = _noop
+        for i in range(n):
+            kernel.schedule(float(i // batch), sink)
+        kernel.run()
+        assert kernel.dispatched == n
+
+    return BenchRecord(
+        name="micro_batch_dispatch", kind="micro",
+        wall_seconds=_best_of(repeats, body),
+        events=n, seed=seed, params={"n": n, "batch": batch},
+    )
+
+
+# ----------------------------------------------------------------------
 # workload / experiment benchmarks
 # ----------------------------------------------------------------------
-@_bench("e11_p16")
-def bench_e11_p16(quick: bool, seed: int, repeats: int,
-                  store_dir: Optional[str] = None, check: bool = False,
-                  **_: object) -> BenchRecord:
-    """The acceptance benchmark: E11's scalability workload at 16 processes.
+def _e11_scale_bench(processes: int) -> None:
+    """Register the E11 scalability workload at one cluster size.
 
-    Runs the exact cluster configuration of experiment E11's largest
-    quick point scaled to 16 processes and reports simulator throughput.
-    ``repro bench`` compares this row's wall-clock against the committed
-    baseline to hold the perf trajectory.
+    ``e11_p16`` is the acceptance benchmark of the perf trajectory;
+    ``e11_p64`` / ``e11_p256`` are the big-cluster headline points.  The
+    timed region runs trace-free (:func:`repro.sim.tracing.set_fast_mode`)
+    -- the production fast path this PR introduces; byte-identity of fast
+    and default mode is asserted by
+    ``tests/integration/test_fast_mode_identity.py``.  With ``check=True``
+    the inline checker needs the trace, so fast mode stays off.
     """
-    from repro.checkpoint.policy import CheckpointPolicy
-    from repro.cluster.config import ClusterConfig
-    from repro.cluster.system import DisomSystem
-    from repro.workloads import SyntheticWorkload
+    name = f"e11_p{processes}"
 
-    processes = 16
-    rounds = 8 if quick else 12
-    record = BenchRecord(name="e11_p16", kind="workload", wall_seconds=0.0,
-                         seed=seed,
-                         params={"processes": processes, "rounds": rounds,
-                                 "interval": 40.0})
-    watch = Stopwatch()
-    for _ in range(max(1, repeats)):
-        workload = SyntheticWorkload(rounds=rounds, objects=processes)
-        system = DisomSystem(
-            ClusterConfig(processes=processes, seed=seed,
-                          store_dir=store_dir, check=check),
-            CheckpointPolicy(interval=40.0),
-        )
-        workload.setup(system)
-        with watch:
-            result = system.run()
-        assert result.completed and workload.verify(result).ok
-        record.events = system.kernel.dispatched
-        record.messages = result.net["total_messages"]
-        record.peak_log_bytes = result.peak_log_bytes
-    assert watch.best is not None
-    record.wall_seconds = watch.best
-    return record
+    def bench(quick: bool, seed: int, repeats: int,
+              store_dir: Optional[str] = None, check: bool = False,
+              **_: object) -> BenchRecord:
+        from repro.checkpoint.policy import CheckpointPolicy
+        from repro.cluster.config import ClusterConfig
+        from repro.cluster.system import DisomSystem
+        from repro.sim.tracing import set_fast_mode
+        from repro.workloads import SyntheticWorkload
+
+        rounds = 8 if quick else 12
+        record = BenchRecord(name=name, kind="workload", wall_seconds=0.0,
+                             seed=seed,
+                             params={"processes": processes, "rounds": rounds,
+                                     "interval": 40.0})
+        watch = Stopwatch()
+        set_fast_mode(not check)
+        try:
+            for _ in range(max(1, repeats)):
+                workload = SyntheticWorkload(rounds=rounds, objects=processes)
+                system = DisomSystem(
+                    ClusterConfig(processes=processes, seed=seed,
+                                  store_dir=store_dir, check=check),
+                    CheckpointPolicy(interval=40.0),
+                )
+                workload.setup(system)
+                with watch:
+                    result = system.run()
+                assert result.completed and workload.verify(result).ok
+                record.events = system.kernel.dispatched
+                record.messages = result.net["total_messages"]
+                record.peak_log_bytes = result.peak_log_bytes
+        finally:
+            set_fast_mode(False)
+        assert watch.best is not None
+        record.wall_seconds = watch.best
+        return record
+
+    bench.__name__ = f"bench_{name}"
+    ALL_BENCHMARKS[name] = bench
+
+
+_e11_scale_bench(16)
+_e11_scale_bench(64)
+_e11_scale_bench(256)
 
 
 def _experiment_bench(name: str, exp_id: str) -> None:
@@ -386,6 +466,32 @@ def _bench_cell(name: str, quick: bool, seed: int,
                                 store_dir=store_dir, check=check, jobs=1)
 
 
+#: Lines of ``pstats`` output kept per benchmark under ``--profile``.
+PROFILE_TOP = 25
+
+
+def _profiled(fn: Callable[..., BenchRecord],
+              sink: Dict[str, str], name: str,
+              **kwargs: object) -> BenchRecord:
+    """Run one benchmark under cProfile; store its top-N cumulative
+    hotspots (text form) in ``sink[name]``."""
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        record = fn(**kwargs)
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(PROFILE_TOP)
+    sink[name] = buffer.getvalue()
+    return record
+
+
 def run_suite(
     quick: bool = True,
     seed: int = 7,
@@ -395,6 +501,7 @@ def run_suite(
     check: bool = False,
     progress: Optional[Callable[[str], None]] = None,
     jobs: int = 1,
+    profile_sink: Optional[Dict[str, str]] = None,
 ) -> List[BenchRecord]:
     """Run the (filtered) suite and return one record per benchmark.
 
@@ -408,6 +515,12 @@ def run_suite(
     (worker calibration factors are measured per worker at startup)
     before the best-of merge, so normalized comparisons against serial
     or remote baselines remain valid.
+
+    ``profile_sink`` (a dict) turns on cProfile: each benchmark's top
+    cumulative hotspots land in ``profile_sink[name]`` as ``pstats``
+    text.  Profiling measures the parent interpreter, so it forces the
+    suite serial regardless of ``jobs`` (and slows the wall numbers --
+    don't gate on a profiled run).
     """
     from repro.parallel import resolve_jobs
 
@@ -415,14 +528,20 @@ def run_suite(
     n_jobs = resolve_jobs(jobs)
     selected = [name for name in ALL_BENCHMARKS
                 if not only or any(name.startswith(prefix) for prefix in only)]
-    if n_jobs <= 1:
+    if n_jobs <= 1 or profile_sink is not None:
         records: List[BenchRecord] = []
         for name in selected:
             if progress is not None:
                 progress(name)
-            records.append(ALL_BENCHMARKS[name](
-                quick=quick, seed=seed, repeats=effective_repeats,
-                store_dir=store_dir, check=check, jobs=n_jobs))
+            if profile_sink is not None:
+                records.append(_profiled(
+                    ALL_BENCHMARKS[name], profile_sink, name,
+                    quick=quick, seed=seed, repeats=effective_repeats,
+                    store_dir=store_dir, check=check, jobs=1))
+            else:
+                records.append(ALL_BENCHMARKS[name](
+                    quick=quick, seed=seed, repeats=effective_repeats,
+                    store_dir=store_dir, check=check, jobs=n_jobs))
         return records
     return _run_suite_parallel(selected, quick, seed, effective_repeats,
                                store_dir, check, progress, n_jobs)

@@ -123,6 +123,31 @@ class EventQueue:
             return event
         return None
 
+    def pop_next_at(self, time: float) -> Optional[Event]:
+        """Pop the next live event scheduled exactly at ``time``.
+
+        Returns None -- leaving the event queued -- when the queue is
+        empty or the next live event lies at a different timestamp.
+        This is the kernel's batched-dispatch fast path: within a run of
+        same-timestamp events it replaces :meth:`pop_next`'s ``until``
+        bound check with one float equality and lets the caller skip the
+        clock advance entirely.
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            head = heap[0]
+            event = head[2]
+            if event.cancelled:
+                heappop(heap)
+                continue
+            if head[0] != time:
+                return None
+            heappop(heap)
+            self._live -= 1
+            return event
+        return None
+
     def peek_time(self) -> Optional[float]:
         """Time of the next live event without removing it."""
         heap = self._heap

@@ -116,8 +116,18 @@ class Kernel:
         advanced exactly to ``until``.
 
         The loop body is the simulator's hottest path; locals are bound
-        once and the queue is drained via :meth:`EventQueue.pop_next`
-        (one heap traversal per event instead of peek-then-pop).
+        once and events are dispatched in same-timestamp *batches*: the
+        outer loop pops the first event of a timestamp via
+        :meth:`EventQueue.pop_next` (which enforces the ``until`` bound)
+        and advances the clock once, then the inner loop drains the rest
+        of the run via :meth:`EventQueue.pop_next_at`, skipping the
+        bound check and the clock advance for every follower.  Stop
+        flags and the event budget are still consulted per event --
+        callbacks (e.g. completion checks) may stop the kernel mid-batch
+        and the dispatched count feeds run results, so both must be
+        exact.  ``idle_hooks`` also run after every dispatched event,
+        exactly as before; the hook-free inner loop merely avoids
+        re-testing an empty list.
         """
         self._stopped = False
         self._stop_reason = None
@@ -125,21 +135,29 @@ class Kernel:
         clock = self.clock
         hooks = self.idle_hooks
         max_events = self._max_events
+        pop_next_at = queue.pop_next_at
         while not self._stopped:
             event = queue.pop_next(until)
             if event is None:
                 break
-            clock.advance_to(event.time)
-            dispatched = self._dispatched = self._dispatched + 1
-            if dispatched > max_events:
-                raise SimulationError(
-                    f"event budget exhausted ({max_events} events) -- "
-                    "likely a livelock in the simulated protocol"
-                )
-            event.callback(*event.args)
-            if hooks:
-                for hook in hooks:
-                    hook()
+            batch_time = event.time
+            clock.advance_to(batch_time)
+            while True:
+                dispatched = self._dispatched = self._dispatched + 1
+                if dispatched > max_events:
+                    raise SimulationError(
+                        f"event budget exhausted ({max_events} events) -- "
+                        "likely a livelock in the simulated protocol"
+                    )
+                event.callback(*event.args)
+                if hooks:
+                    for hook in hooks:
+                        hook()
+                if self._stopped:
+                    break
+                event = pop_next_at(batch_time)
+                if event is None:
+                    break
         if until is not None and clock.now < until and not self._stopped:
             clock.advance_to(until)
         return clock.now

@@ -5,6 +5,20 @@ appends :class:`TraceRecord` rows and tests/experiments filter them.  The
 log can be bounded for very long runs; the bound is a true ring
 (drop-oldest, one record at a time) so the retained window is always the
 most recent ``max_records`` rows.
+
+**Trace-free fast mode.**  Most production-sized runs trace nothing: the
+log is disabled and every ``emit`` early-outs.  The early-out itself is
+cheap, but the *call site* still built the record's message (usually an
+f-string over protocol state) before ``emit`` could decline it.  Hot
+layers therefore guard their emits with :data:`TRACE_GATE` -- a
+module-level flag object maintained by the :attr:`TraceLog.enabled`
+property across every live log -- and skip argument construction
+entirely when no log in the process wants records.  Per-log ``enabled``
+stays authoritative: the gate only being *set* never makes a disabled
+log record anything, it merely lets call sites fall back to the legacy
+build-then-discard path.  :func:`set_fast_mode` forces exactly that
+fallback everywhere, which the byte-identity regression test uses to
+prove the fast mode changes no simulated behavior.
 """
 
 from __future__ import annotations
@@ -13,6 +27,60 @@ from bisect import bisect_left, bisect_right
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional
+
+
+class _TraceGate:
+    """Process-wide tracing gate consulted by hot emit call sites.
+
+    ``active`` is True while any :class:`TraceLog` is enabled (or fast
+    mode is switched off); reading one attribute of one module-level
+    object is the cheapest guard Python offers short of inlining.
+    """
+
+    __slots__ = ("active",)
+
+    def __init__(self) -> None:
+        self.active = False
+
+
+#: The gate hot call sites import and test before building trace-record
+#: arguments:  ``if TRACE_GATE.active: trace.emit(...)``.
+TRACE_GATE = _TraceGate()
+
+#: Number of currently-enabled TraceLog instances (gate bookkeeping).
+_enabled_logs = 0
+
+#: False forces the legacy always-call-emit path at gated call sites.
+_fast_mode = True
+
+
+def _refresh_gate() -> None:
+    TRACE_GATE.active = _enabled_logs > 0 or not _fast_mode
+
+
+def _note_enabled(delta: int) -> None:
+    global _enabled_logs
+    _enabled_logs += delta
+    _refresh_gate()
+
+
+def trace_active() -> bool:
+    """Whether gated call sites should build and emit trace records."""
+    return TRACE_GATE.active
+
+
+def set_fast_mode(on: bool) -> None:
+    """Toggle the trace-free fast mode (on by default).
+
+    ``set_fast_mode(False)`` forces every gated call site back to the
+    legacy behavior of unconditionally calling ``emit`` and letting the
+    per-log ``enabled`` check discard the record.  Simulated behavior is
+    identical either way -- the byte-identity regression test runs the
+    same workload in both modes and compares result fingerprints.
+    """
+    global _fast_mode
+    _fast_mode = bool(on)
+    _refresh_gate()
 
 
 @dataclass(frozen=True, slots=True)
@@ -38,6 +106,7 @@ class TraceLog:
         max_records: Optional[int] = None,
         categories: Optional[set[str]] = None,
     ) -> None:
+        self._enabled = False
         self.enabled = enabled
         self._max = max_records
         self._categories = categories
@@ -47,8 +116,38 @@ class TraceLog:
         #: the inline verifier's event feed).
         self.sink: Optional[Callable[[TraceRecord], None]] = None
 
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        """Enable/disable the log, keeping :data:`TRACE_GATE` in sync.
+
+        The inline verifier flips this on when it attaches mid-setup;
+        routing the flag through a property means gated call sites start
+        emitting the moment any log wants records.
+        """
+        value = bool(value)
+        if value == self._enabled:
+            return
+        self._enabled = value
+        _note_enabled(1 if value else -1)
+
+    def __del__(self) -> None:
+        # A dropped enabled log must release its claim on the gate, or
+        # one traced run would pin every later run in the process on the
+        # slow path (e.g. the trace micro-benchmarks running before the
+        # workload benchmarks).  Guarded: module globals may already be
+        # torn down at interpreter exit.
+        if getattr(self, "_enabled", False):
+            try:
+                _note_enabled(-1)
+            except Exception:  # pragma: no cover - interpreter shutdown
+                pass
+
     def emit(self, time: float, category: str, message: str, **fields: Any) -> None:
-        if not self.enabled:
+        if not self._enabled:
             return
         if self._categories is not None and category not in self._categories:
             return
@@ -62,7 +161,34 @@ class TraceLog:
 
     @property
     def records(self) -> list[TraceRecord]:
+        """All retained records as a fresh list.
+
+        This *copies* the whole ring on every access; hot callers that
+        only need the count or a single pass should use :meth:`__len__`
+        or :meth:`iter_records` instead.
+        """
         return list(self._records)
+
+    def __len__(self) -> int:
+        """Number of retained records (no copy)."""
+        return len(self._records)
+
+    def iter_records(self) -> Iterator[TraceRecord]:
+        """Iterate retained records in emission order without copying.
+
+        The log must not be mutated (emit/clear) during iteration --
+        deque iterators raise RuntimeError on concurrent mutation.
+        """
+        return iter(self._records)
+
+    def tail(self, n: int) -> list[TraceRecord]:
+        """The most recent ``n`` records, oldest first (copies only the
+        tail -- unlike ``records[-n:]`` which copies the whole ring)."""
+        records = self._records
+        size = len(records)
+        if n >= size:
+            return list(records)
+        return [records[i] for i in range(size - n, size)]
 
     @property
     def dropped(self) -> int:

@@ -57,6 +57,9 @@ class ThreadScheduler:
         self.threads: dict[Any, Thread] = {}
         #: Count of thread context activations (observability only).
         self.dispatches = 0
+        #: Pre-rendered event labels per tid -- one dispatch/resume event
+        #: is scheduled per syscall, so the f-strings are built once.
+        self._labels: dict[Any, tuple[str, str, str]] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -65,6 +68,8 @@ class ThreadScheduler:
         if thread.tid in self.threads:
             raise SimulationError(f"duplicate thread {thread.tid}")
         self.threads[thread.tid] = thread
+        tid = thread.tid
+        self._labels[tid] = (f"step {tid}", f"resume {tid}", f"compute {tid}")
 
     def start_all(self) -> None:
         """Start every NEW thread (deterministic tid order)."""
@@ -92,7 +97,9 @@ class ThreadScheduler:
     # the dispatch / complete cycle
     # ------------------------------------------------------------------
     def _dispatch(self, thread: Thread) -> None:
-        self.kernel.call_soon(self._step, thread, label=f"step {thread.tid}")
+        labels = self._labels.get(thread.tid)
+        label = labels[0] if labels else f"step {thread.tid}"
+        self.kernel.call_soon(self._step, thread, label=label)
 
     def complete(self, thread: Thread, result: Any = None) -> None:
         """Complete the thread's pending syscall with ``result``.
@@ -100,7 +107,9 @@ class ThreadScheduler:
         Safe to call from any protocol context; the actual generator resume
         happens in its own kernel event.
         """
-        self.kernel.call_soon(self._resume, thread, result, label=f"resume {thread.tid}")
+        labels = self._labels.get(thread.tid)
+        label = labels[1] if labels else f"resume {thread.tid}"
+        self.kernel.call_soon(self._resume, thread, result, label=label)
 
     def _resume(self, thread: Thread, result: Any) -> None:
         if not self.alive or thread.state is ThreadState.FAILED:
@@ -118,18 +127,23 @@ class ThreadScheduler:
         if syscall is None:
             raise SimulationError(f"{thread.tid}: READY thread with no syscall")
         self.dispatches += 1
-        if isinstance(syscall, Compute):
+        # Syscall classes are final (frozen, slotted, no subclasses), so
+        # dispatch on class identity rather than isinstance chains.
+        cls = syscall.__class__
+        if cls is Compute:
             thread.state = ThreadState.WAIT_COMPUTE
+            labels = self._labels.get(thread.tid)
+            label = labels[2] if labels else f"compute {thread.tid}"
             self.kernel.schedule(
                 syscall.duration, self.complete, thread, None,
-                label=f"compute {thread.tid}",
+                label=label,
             )
-        elif isinstance(syscall, (AcquireRead, AcquireWrite)):
+        elif cls is AcquireRead or cls is AcquireWrite:
             thread.state = ThreadState.WAIT_ACQUIRE
             self.handler.handle_acquire(thread, syscall)
-        elif isinstance(syscall, Release):
+        elif cls is Release:
             self.handler.handle_release(thread, syscall)
-        elif isinstance(syscall, Log):
+        elif cls is Log:
             self.handler.handle_log(thread, syscall)
         else:
             raise SimulationError(f"{thread.tid}: unknown syscall {syscall!r}")

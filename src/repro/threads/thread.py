@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.errors import MemoryModelError, RecoveryError
+from repro.net.sizing import register_sized_type
 from repro.threads.program import Program, ProgramContext, ProgramGen
 from repro.threads.syscalls import (
     AcquireRead,
@@ -24,11 +25,72 @@ from repro.threads.syscalls import (
     Release,
     Syscall,
 )
-from repro.types import AcquireType, Dependency, ObjectId, Tid, WaitObj
+from repro.types import (
+    AcquireType,
+    Dependency,
+    ExecutionPoint,
+    ObjectId,
+    Tid,
+    WaitObj,
+)
+
+
+#: Immutable scalar types whose instances never need copying.  Exact-type
+#: membership only: subclasses (enums, bool-like wrappers) fall through to
+#: the real deepcopy.
+_ATOMIC_TYPES = frozenset((
+    type(None), bool, int, float, complex, str, bytes,
+))
 
 
 def snapshot(value: Any) -> Any:
-    """Deep copy used everywhere a private/pristine copy is required."""
+    """Deep copy used everywhere a private/pristine copy is required.
+
+    Semantically ``copy.deepcopy``, with fast paths for the payload
+    shapes that dominate simulated workloads: atomic scalars, flat
+    lists/dicts of atomics (the synthetic workload's object values) and
+    matrices (lists of distinct flat rows -- SOR, matmul).  Each fast
+    path returns exactly what deepcopy would return for that shape:
+    atoms and all-atomic tuples come back as the original object
+    (deepcopy's own behavior for immutables), flat containers become a
+    fresh container around the same atomic elements, and matrix rows
+    are only copied per-row when no two rows alias each other (aliased
+    rows need deepcopy's memo to preserve the aliasing).  Anything
+    nested deeper, aliased or user-defined falls through to deepcopy.
+    """
+    atomic = _ATOMIC_TYPES
+    cls = value.__class__
+    if cls in atomic:
+        return value
+    if cls is dict:
+        flat = True
+        for k, v in value.items():
+            if k.__class__ not in atomic or v.__class__ not in atomic:
+                flat = False
+                break
+        if flat:
+            return value.copy()
+    elif cls is list:
+        flat = True
+        for item in value:
+            if item.__class__ not in atomic:
+                flat = False
+                break
+        if flat:
+            return value.copy()
+        if all(item.__class__ is list for item in value) and \
+                len({id(item) for item in value}) == len(value):
+            rows = []
+            for row in value:
+                if not all(item.__class__ in atomic for item in row):
+                    return copy.deepcopy(value)
+                rows.append(row.copy())
+            return rows
+    elif cls is tuple:
+        for item in value:
+            if item.__class__ not in atomic:
+                return copy.deepcopy(value)
+        return value
     return copy.deepcopy(value)
 
 
@@ -42,16 +104,27 @@ class ThreadState(enum.Enum):
     FAILED = "failed"
 
 
+@register_sized_type
 @dataclass(frozen=True, slots=True)
 class RecordedResult:
     """One element of a thread's replay prefix.
 
     ``kind`` is the syscall class name; ``value`` is the (pristine) result
-    the syscall returned.  Only acquires have non-None values.
+    the syscall returned.  Only acquires have non-None values.  Registered
+    with the size model: the value is a snapshot that is never mutated, so
+    checkpoint images can size replay prefixes by identity.
     """
 
     kind: str
     value: Any = None
+
+    # Fast pickle path; see repro.types.Tid.__getstate__ for the contract.
+    def __getstate__(self) -> list:
+        return [self.kind, self.value]
+
+    def __setstate__(self, state: list) -> None:
+        object.__setattr__(self, "kind", state[0])
+        object.__setattr__(self, "value", state[1])
 
 
 class Thread:
@@ -96,15 +169,11 @@ class Thread:
 
     def current_ep(self):
         """The thread's current execution point ``<tid, lt>``."""
-        from repro.types import ExecutionPoint
-
-        return ExecutionPoint(self.tid, self.lt)
+        return ExecutionPoint.of(self.tid, self.lt)
 
     def next_acquire_ep(self):
         """Execution point the *next* acquire will execute at (lt + 1)."""
-        from repro.types import ExecutionPoint
-
-        return ExecutionPoint(self.tid, self.lt + 1)
+        return ExecutionPoint.of(self.tid, self.lt + 1)
 
     def tick(self) -> None:
         """Increment logical time; called when an acquire is issued."""
@@ -150,9 +219,9 @@ class Thread:
             raise MemoryModelError(f"{self.tid}: resume() with no pending syscall")
         self.acquire_pending = False
         if record:
-            kind = type(syscall).__name__
-            value = snapshot(result) if isinstance(syscall, (AcquireRead, AcquireWrite)) else None
-            self.records.append(RecordedResult(kind, value))
+            cls = syscall.__class__
+            value = snapshot(result) if (cls is AcquireRead or cls is AcquireWrite) else None
+            self.records.append(RecordedResult(cls.__name__, value))
         self._advance(first=False, send_value=result)
 
     def _advance(self, first: bool, send_value: Any) -> None:
@@ -237,9 +306,7 @@ class Thread:
         return self.lt - 1 if self.acquire_pending else self.lt
 
     def completed_ep(self):
-        from repro.types import ExecutionPoint
-
-        return ExecutionPoint(self.tid, self.completed_lt())
+        return ExecutionPoint.of(self.tid, self.completed_lt())
 
     def restore_from(self, state: dict[str, Any]) -> None:
         """Rebuild the thread from a checkpoint image.

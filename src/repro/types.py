@@ -52,23 +52,47 @@ class AcquireType(enum.Enum):
         return self.value
 
 
-@dataclass(frozen=True, slots=True, order=True)
+@dataclass(frozen=True, order=True)
 class Tid:
     """Unique thread identifier: (process identifier, local thread index).
 
     The paper: "The tid is composed of the process identifier and a local
     thread identifier.  Therefore, the process identifier can be obtained
     from the tid."
+
+    Tids (like execution points and version identifiers) are used as
+    dict/set keys throughout the protocol layers, so the hash is computed
+    once at construction and cached in a hidden ``_hash`` slot.  The
+    cached value is exactly the dataclass-generated ``hash((pid, local))``
+    so container iteration orders are unchanged.  ``Tid.of`` interns
+    instances: hot paths that construct the same identifier repeatedly
+    get the same object back, which turns dict-key equality checks into
+    identity hits and lets the wire-size model cache by identity.
     """
+
+    __slots__ = ("pid", "local", "_hash")
 
     pid: ProcessId
     local: int
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.pid, self.local)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    @staticmethod
+    def of(pid: ProcessId, local: int) -> "Tid":
+        """Interned constructor; equal arguments return the same object."""
+        key = (pid, local)
+        tid = _TID_INTERN.get(key)
+        if tid is None:
+            tid = _TID_INTERN[key] = Tid(pid, local)
+        return tid
+
     # Hand-written pickle support: byte-identical to the dataclass-generated
     # _dataclass_getstate/_dataclass_setstate pair (a list of field values
     # in declaration order) but without the per-call fields() reflection.
-    # Tids are pickled constantly by the wire-size model (sizing piggyback
-    # control dicts pickles the execution points inside), so this shows up.
     # Any field change here MUST update these two methods in lockstep --
     # test_pickle_state_matches_dataclass guards that.
     def __getstate__(self) -> list:
@@ -77,21 +101,48 @@ class Tid:
     def __setstate__(self, state: list) -> None:
         object.__setattr__(self, "pid", state[0])
         object.__setattr__(self, "local", state[1])
+        object.__setattr__(self, "_hash", hash((state[0], state[1])))
 
     def __str__(self) -> str:
         return f"t{self.pid}.{self.local}"
 
 
-@dataclass(frozen=True, slots=True)
+_TID_INTERN: dict[tuple, Tid] = {}
+
+
+@dataclass(frozen=True)
 class ExecutionPoint:
     """A unique execution point ``<tid, lt>`` (paper section 3).
 
     ``lt`` is the thread's logical time, incremented on every acquire; the
     acquire itself happens *at* the incremented value.
+
+    Hash caching and interning follow :class:`Tid`: threads re-derive
+    their current execution point on every syscall, so
+    ``ExecutionPoint.of`` keeps one object per ``<tid, lt>`` value.
     """
+
+    __slots__ = ("tid", "lt", "_hash")
 
     tid: Tid
     lt: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.tid, self.lt)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    @staticmethod
+    def of(tid: Tid, lt: int) -> "ExecutionPoint":
+        """Interned constructor; equal arguments return the same object."""
+        key = (tid, lt)
+        point = _EP_INTERN.get(key)
+        if point is None:
+            if len(_EP_INTERN) >= _INTERN_MAX:
+                _EP_INTERN.clear()
+            point = _EP_INTERN[key] = ExecutionPoint(tid, lt)
+        return point
 
     # Fast pickle path; see Tid.__getstate__ for the contract.
     def __getstate__(self) -> list:
@@ -100,6 +151,7 @@ class ExecutionPoint:
     def __setstate__(self, state: list) -> None:
         object.__setattr__(self, "tid", state[0])
         object.__setattr__(self, "lt", state[1])
+        object.__setattr__(self, "_hash", hash((state[0], state[1])))
 
     def __str__(self) -> str:
         return f"<{self.tid}@{self.lt}>"
@@ -140,9 +192,15 @@ class ExecutionPoint:
         return (self.tid.pid, self.tid.local, self.lt)
 
 
+#: Bound on the execution-point intern cache; cleared wholesale when
+#: full (interning is an optimization -- equality never depends on it).
+_INTERN_MAX = 1 << 17
+_EP_INTERN: dict[tuple, ExecutionPoint] = {}
+
+
 def ep(pid: ProcessId, local: int, lt: int) -> ExecutionPoint:
     """Convenience constructor used heavily by tests: ``ep(0, 1, 5)``."""
-    return ExecutionPoint(Tid(pid, local), lt)
+    return ExecutionPoint.of(Tid.of(pid, local), lt)
 
 
 @dataclass(frozen=True, slots=True)
@@ -228,12 +286,34 @@ def pid_of(point: ExecutionPoint) -> ProcessId:
 INITIAL_VERSION = 0
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True)
 class VersionId:
-    """Identifies one version of one object: ``(obj_id, version)``."""
+    """Identifies one version of one object: ``(obj_id, version)``.
+
+    Hash caching and interning follow :class:`Tid`.
+    """
+
+    __slots__ = ("obj_id", "version", "_hash")
 
     obj_id: ObjectId
     version: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.obj_id, self.version)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    @staticmethod
+    def of(obj_id: ObjectId, version: int) -> "VersionId":
+        """Interned constructor; equal arguments return the same object."""
+        key = (obj_id, version)
+        vid = _VERSION_INTERN.get(key)
+        if vid is None:
+            if len(_VERSION_INTERN) >= _INTERN_MAX:
+                _VERSION_INTERN.clear()
+            vid = _VERSION_INTERN[key] = VersionId(obj_id, version)
+        return vid
 
     # Fast pickle path; see Tid.__getstate__ for the contract.
     def __getstate__(self) -> list:
@@ -242,9 +322,13 @@ class VersionId:
     def __setstate__(self, state: list) -> None:
         object.__setattr__(self, "obj_id", state[0])
         object.__setattr__(self, "version", state[1])
+        object.__setattr__(self, "_hash", hash((state[0], state[1])))
 
     def __str__(self) -> str:
         return f"{self.obj_id}:v{self.version}"
+
+
+_VERSION_INTERN: dict[tuple, VersionId] = {}
 
 
 class ObjectStatus(enum.Enum):

@@ -70,7 +70,7 @@ class InvariantChecker:
     def _report(self, rule: str, detail: str) -> None:
         trace_slice: List[Any] = []
         if self.trace is not None:
-            trace_slice = self.trace.records[-SLICE_LEN:]
+            trace_slice = self.trace.tail(SLICE_LEN)
         violation = InvariantViolation(rule, detail, trace_slice=trace_slice)
         if self.strict:
             raise violation

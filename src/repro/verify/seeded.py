@@ -48,7 +48,7 @@ def seeded_race() -> List[RaceFinding]:
     # would look exactly like this in the trace).
     _mem(trace, 4.0, "write", rogue, 1, "x", "W")
     detector = RaceDetector()
-    return detector.scan(trace.records)
+    return detector.scan(trace.iter_records())
 
 
 def seeded_gc_unsafe() -> List[InvariantViolation]:
@@ -114,8 +114,8 @@ def seeded_bad_schedule() -> Dict[str, Any]:
 
     The core is the double-grant repro (see
     ``tests/integration/test_multi_failure.py``): the synthetic
-    workload on 4 processes, seed 1, interval 30, with crashes at
-    P0@25 and P2@65 -- recovery replays one acquire the survivor log
+    workload on 4 processes, seed 2, interval 30, with crashes at
+    P0@30 and P2@65 -- recovery replays one acquire the survivor log
     already granted, tripping the ``duplicate LogList element``
     :class:`~repro.errors.ProtocolError`.
 
@@ -132,9 +132,9 @@ def seeded_bad_schedule() -> Dict[str, Any]:
         "workload": "synthetic",
         "params": {"rounds": 12, "objects": 5},
         "processes": 4,
-        "seed": 1,
+        "seed": 2,
         "interval": 30.0,
-        "crashes": [[0, 25.0], [2, 65.0], [1, 200.0], [3, 300.0]],
+        "crashes": [[0, 30.0], [2, 65.0], [1, 200.0], [3, 300.0]],
         "highwater": 10_000_000,
         "check": True,
     })

@@ -1,0 +1,92 @@
+"""Trace-free fast mode must be invisible to the simulation.
+
+``set_fast_mode(True)`` lets the hot layers skip building trace records
+entirely (the big-cluster fast path).  The contract is that the gate
+only elides *observation*: every simulated behavior -- event counts,
+message counts and bytes, checkpoint sizes, final object state, thread
+results -- is byte-identical with the gate on and off.  These tests run
+the E2-shaped (small cluster, crash-free message accounting) and
+E11-shaped (scalability point) configurations both ways and compare
+:func:`repro.fingerprint.config_fingerprint` content addresses of a
+canonical behavior summary.
+"""
+
+import pytest
+
+from repro.checkpoint.policy import CheckpointPolicy
+from repro.cluster.config import ClusterConfig
+from repro.cluster.system import DisomSystem
+from repro.fingerprint import config_fingerprint
+from repro.sim.tracing import set_fast_mode
+from repro.workloads import SyntheticWorkload
+
+
+@pytest.fixture(autouse=True)
+def _restore_fast_mode():
+    yield
+    set_fast_mode(False)
+
+
+def _behavior_fingerprint(processes: int, rounds: int, interval: float,
+                          seed: int, fast: bool) -> str:
+    """One full run; returns the content address of everything the
+    simulation decided (not how it was observed)."""
+    set_fast_mode(fast)
+    try:
+        system = DisomSystem(
+            ClusterConfig(processes=processes, seed=seed),
+            CheckpointPolicy(interval=interval),
+        )
+        workload = SyntheticWorkload(rounds=rounds, objects=processes)
+        workload.setup(system)
+        result = system.run()
+    finally:
+        set_fast_mode(False)
+    assert result.completed and workload.verify(result).ok
+    summary = {
+        "duration": result.duration,
+        "events": system.kernel.dispatched,
+        "net": result.net,
+        "stable_writes": result.stable_writes,
+        "stable_bytes": result.stable_bytes,
+        "peak_log_bytes": result.peak_log_bytes,
+        "final_objects": {str(k): repr(v)
+                          for k, v in sorted(result.final_objects.items(),
+                                             key=lambda kv: str(kv[0]))},
+        "thread_results": {str(k): repr(v)
+                           for k, v in sorted(result.thread_results.items(),
+                                              key=lambda kv: str(kv[0]))},
+    }
+    return config_fingerprint(summary)
+
+
+@pytest.mark.parametrize(
+    "processes,rounds,interval",
+    [
+        pytest.param(4, 12, 50.0, id="e2_shape_p4"),
+        pytest.param(16, 8, 40.0, id="e11_shape_p16"),
+    ],
+)
+def test_fast_mode_is_byte_identical(processes, rounds, interval):
+    slow = _behavior_fingerprint(processes, rounds, interval, seed=7,
+                                 fast=False)
+    fast = _behavior_fingerprint(processes, rounds, interval, seed=7,
+                                 fast=True)
+    assert slow == fast
+
+
+def test_inline_check_overrides_fast_mode():
+    """``check=True`` needs the trace; an enabled log must re-open the
+    gate even while fast mode is on, and the checked run must still
+    produce a verdict."""
+    set_fast_mode(True)
+    system = DisomSystem(
+        ClusterConfig(processes=4, seed=7, check=True),
+        CheckpointPolicy(interval=50.0),
+    )
+    workload = SyntheticWorkload(rounds=8, objects=4)
+    workload.setup(system)
+    result = system.run()
+    assert result.completed and workload.verify(result).ok
+    assert result.check_report is not None
+    assert not result.invariant_violations
